@@ -1,0 +1,32 @@
+"""Shared benchmark helpers.
+
+Every benchmark runs its experiment exactly once
+(``benchmark.pedantic(..., rounds=1, iterations=1)``): the experiments
+are deterministic simulations, so repeated rounds would only re-measure
+the same run.  Each bench prints the paper-style table/series it
+regenerates and asserts the *shape* of the result (who wins, direction
+of change), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render an aligned text table to stdout."""
+    widths = [max(len(str(header[i])),
+                  max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,82 @@
+"""Scenario: bitrate adaptation vs multipath aggregation (Sec. 8).
+
+The paper argues that DASH-style adaptation is "limited to a single
+path's capacity" while XLINK aggregates paths.  Here the same
+buffer-based ABR player streams a 4-rung ladder (0.5/1/2/4 Mbps):
+
+- over single-path QUIC on a 2.2 Mbps Wi-Fi link, and
+- over multipath QUIC adding a 2.2 Mbps LTE path.
+
+ABR keeps both smooth -- by *degrading quality* on the single path.
+Multipath lets the identical ABR logic hold the top rung.
+
+Run:  python examples/abr_vs_multipath.py
+"""
+
+from repro.core import MinRttScheduler, SinglePathScheduler
+from repro.netem import Datagram, MultipathNetwork
+from repro.quic.connection import Connection, ConnectionConfig
+from repro.sim import EventLoop
+from repro.video import MediaServer
+from repro.video.abr import AbrPlayer, BitrateLadder
+
+
+def run(multipath: bool):
+    loop = EventLoop()
+    net = MultipathNetwork(loop)
+    net.add_simple_path(0, 2.2e6, 0.015)
+    if multipath:
+        net.add_simple_path(1, 2.2e6, 0.040)
+    client = Connection(loop, ConnectionConfig(is_client=True,
+                                               enable_multipath=multipath),
+                        transmit=lambda pid, d: net.client.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=MinRttScheduler() if multipath
+                        else SinglePathScheduler(),
+                        connection_name="abr-demo")
+    server = Connection(loop, ConnectionConfig(is_client=False,
+                                               enable_multipath=multipath),
+                        transmit=lambda pid, d: net.server.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=MinRttScheduler(),
+                        connection_name="abr-demo")
+    net.client.on_receive(lambda d: client.datagram_received(d.payload,
+                                                             d.path_id))
+    net.server.on_receive(lambda d: server.datagram_received(d.payload,
+                                                             d.path_id))
+    client.add_local_path(0, 0)
+    server.add_local_path(0, 0)
+
+    ladder = BitrateLadder.make(duration_s=15.0, seed=3)
+    MediaServer(server, {v.name: v for v in ladder.variants.values()})
+    player = AbrPlayer(loop, client, ladder)
+    client.on_established = lambda: (
+        client.open_path(1, 1) if multipath else None, player.start())
+    client.connect()
+    while not player.finished and loop.now < 120.0:
+        if not loop.step():
+            break
+    return player
+
+
+def main() -> None:
+    print(f"{'transport':<18} {'mean bitrate':>13} {'top-rung %':>11} "
+          f"{'rebuffer':>9} {'switches':>9}")
+    for multipath in (False, True):
+        player = run(multipath)
+        stats = player.stats
+        top = player.ladder.bitrates_bps[-1]
+        top_share = (stats.selected_bitrates.count(top)
+                     / len(stats.selected_bitrates) * 100)
+        label = "multipath QUIC" if multipath else "single-path QUIC"
+        print(f"{label:<18} {stats.mean_bitrate / 1e6:>10.2f} Mbps "
+              f"{top_share:>10.0f}% {stats.rebuffer_time:>8.2f}s "
+              f"{stats.switches:>9}")
+
+    print("\nSame player, same ladder: the single path can only stay"
+          "\nsmooth by living below 2.2 Mbps; the aggregated paths let"
+          "\nit climb to the 4 Mbps rung.")
+
+
+if __name__ == "__main__":
+    main()

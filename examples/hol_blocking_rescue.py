@@ -1,0 +1,61 @@
+"""Scenario: a Wi-Fi blackout mid-playback (the MP-HoL stress case).
+
+Plays the same video over the same degrading network under four
+transports -- single-path QUIC, QUIC connection migration, vanilla
+multipath (min-RTT), and XLINK -- and shows how each copes when the
+Wi-Fi path blacks out for three seconds while packets are in flight
+on it.  This is the failure mode of the paper's Sec. 3 and the rescue
+of Sec. 5.1: XLINK re-injects the stuck packets onto the LTE path as
+soon as the client's buffer feedback signals urgency.
+
+Run:  python examples/hol_blocking_rescue.py
+"""
+
+from repro.experiments import PathSpec, run_video_session
+from repro.netem import OutageSchedule
+from repro.traces.radio_profiles import RadioType
+from repro.video import PlayerConfig, make_video
+
+
+def build_paths():
+    """Wi-Fi (good, but blacks out at t=2..5s) + a modest LTE path."""
+    wifi = PathSpec(
+        net_path_id=0, radio=RadioType.WIFI,
+        one_way_delay_s=0.012, rate_bps=9e6,
+        outages=OutageSchedule(windows=[(2.0, 5.0)]))
+    lte = PathSpec(net_path_id=1, radio=RadioType.LTE,
+                   one_way_delay_s=0.045, rate_bps=5e6)
+    return [wifi, lte]
+
+
+def main() -> None:
+    video = make_video(name="stress", duration_s=12.0,
+                       bitrate_bps=2_500_000, seed=7)
+    player = PlayerConfig(max_buffer_s=2.0)
+
+    print(f"{'scheme':<12} {'rebuffer':>9} {'worst chunk':>12} "
+          f"{'first frame':>12} {'redundancy':>11}")
+    for scheme in ("sp", "cm", "vanilla_mp", "xlink"):
+        paths = build_paths()
+        if scheme in ("sp",):
+            paths = paths[:1]  # SP lives on Wi-Fi only
+        result = run_video_session(scheme, paths, video=video,
+                                   player_config=player,
+                                   timeout_s=60.0, seed=3)
+        m = result.metrics
+        worst = max(m.request_completion_times) \
+            if m.request_completion_times else float("nan")
+        print(f"{scheme:<12} {m.rebuffer_time:>8.2f}s {worst:>11.2f}s "
+              f"{m.first_frame_latency * 1000:>10.0f}ms "
+              f"{result.redundancy_percent:>10.1f}%")
+
+    print("\nReading the table: SP stalls for most of the blackout;"
+          "\nCM migrates but pays probe time and a cwnd reset;"
+          "\nvanilla-MP keeps fetching on LTE but the chunk stuck on"
+          "\nWi-Fi blocks playback (MP-HoL); XLINK re-injects the stuck"
+          "\nbytes onto LTE, trading a few percent of redundant traffic"
+            " for smooth playback.")
+
+
+if __name__ == "__main__":
+    main()

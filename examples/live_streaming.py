@@ -1,0 +1,86 @@
+"""Scenario: live streaming over multipath QUIC (Sec. 10 future work).
+
+A broadcaster produces 25 fps live video; the viewer plays 600 ms
+behind capture.  Mid-stream, the Wi-Fi path blacks out for 1.5 s.
+We compare vanilla multipath against XLINK: the live viewer's QoE
+signal is its latency *slack*, and XLINK's key-frame-priority
+re-injection keeps frames inside the latency budget through the
+blackout.
+
+Run:  python examples/live_streaming.py
+"""
+
+from repro.core import (MinRttScheduler, ReinjectionMode, ThresholdConfig,
+                        XlinkScheduler)
+from repro.netem import Datagram, MultipathNetwork, OutageSchedule
+from repro.quic.connection import Connection, ConnectionConfig
+from repro.sim import EventLoop
+from repro.video.live import LiveConfig, LiveSource, LiveViewer
+
+
+def run(scheduler_name: str):
+    loop = EventLoop()
+    net = MultipathNetwork(loop)
+    net.add_simple_path(0, 8e6, 0.015,
+                        outages=OutageSchedule(windows=[(2.0, 3.5)]))
+    net.add_simple_path(1, 6e6, 0.045)
+
+    if scheduler_name == "xlink":
+        scheduler = XlinkScheduler(mode=ReinjectionMode.FRAME_PRIORITY,
+                                   thresholds=ThresholdConfig(0.3, 1.0))
+    else:
+        scheduler = MinRttScheduler()
+
+    server = Connection(loop, ConnectionConfig(is_client=False),
+                        transmit=lambda pid, d: net.server.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=scheduler, connection_name="live")
+    client = Connection(loop, ConnectionConfig(is_client=True),
+                        transmit=lambda pid, d: net.client.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=MinRttScheduler(),
+                        connection_name="live")
+    net.client.on_receive(lambda d: client.datagram_received(d.payload,
+                                                             d.path_id))
+    net.server.on_receive(lambda d: server.datagram_received(d.payload,
+                                                             d.path_id))
+    client.add_local_path(0, 0)
+    server.add_local_path(0, 0)
+
+    config = LiveConfig(target_latency_s=0.6)
+    source = LiveSource(loop, server, config=config)
+    viewer = LiveViewer(loop, client, config=config)
+    client.on_established = lambda: (client.open_path(1, 1),
+                                     source.start())
+    client.connect()
+    loop.run(until=6.0)
+    source.stop()
+    loop.run(until=8.0)
+    return source, viewer, server
+
+
+def main() -> None:
+    print(f"{'scheduler':<12} {'frames':>7} {'late':>6} {'late %':>7} "
+          f"{'p50 lat':>8} {'p99 lat':>8} {'redund':>7}")
+    for name in ("vanilla", "xlink"):
+        source, viewer, server = run(name)
+        stats = viewer.stats
+        redundancy = 0.0
+        if server.stats.stream_bytes_new:
+            redundancy = (server.stats.stream_bytes_reinjected
+                          / server.stats.stream_bytes_new * 100)
+        print(f"{name:<12} {stats.frames_received:>7} "
+              f"{stats.frames_late:>6} {stats.late_ratio * 100:>6.1f}% "
+              f"{stats.latency_percentile(50) * 1000:>6.0f}ms "
+              f"{stats.latency_percentile(99) * 1000:>6.0f}ms "
+              f"{redundancy:>6.1f}%")
+
+    print("\nDuring the 1.5 s Wi-Fi blackout, frames captured into the"
+          "\ndead path's congestion window would arrive late under"
+          "\nvanilla min-RTT; XLINK's viewer reports shrinking latency"
+          "\nslack through ACK_MP and the scheduler re-injects the"
+          "\nstuck frames onto LTE.")
+
+
+if __name__ == "__main__":
+    main()

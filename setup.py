@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment lacks the ``wheel`` package, so
+PEP 660 editable installs fail; ``pip install -e . --no-build-isolation``
+falls back to ``setup.py develop`` when this file exists."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``play``      -- run one emulated video session under a scheme
+- ``race``      -- bulk-download race across schemes on one network
+- ``ab``        -- run one A/B day (SP vs a treatment) and print stats
+- ``mobility``  -- replay one extreme-mobility trace pair (Fig. 13 row)
+- ``schemes``   -- list the available transport schemes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (ABTestConfig, PathSpec, SCHEMES,
+                               run_ab_day, run_bulk_download,
+                               run_video_session)
+from repro.experiments.mobility import FIG13_SCHEMES, run_mobility_trace
+from repro.metrics import percentile
+from repro.netem import OutageSchedule
+from repro.traces.catalog import extreme_mobility_trace_pairs
+from repro.traces.radio_profiles import RadioType
+from repro.video import PlayerConfig, make_video
+
+
+def _standard_paths(args) -> List[PathSpec]:
+    wifi_outages = None
+    if args.wifi_outage:
+        start, end = args.wifi_outage
+        wifi_outages = OutageSchedule(windows=[(start, end)])
+    return [
+        PathSpec(net_path_id=0, radio=RadioType.WIFI,
+                 one_way_delay_s=args.wifi_delay_ms / 1000.0,
+                 rate_bps=args.wifi_mbps * 1e6, outages=wifi_outages),
+        PathSpec(net_path_id=1, radio=RadioType.LTE,
+                 one_way_delay_s=args.lte_delay_ms / 1000.0,
+                 rate_bps=args.lte_mbps * 1e6),
+    ]
+
+
+def _add_network_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--wifi-mbps", type=float, default=10.0)
+    parser.add_argument("--wifi-delay-ms", type=float, default=12.0)
+    parser.add_argument("--lte-mbps", type=float, default=5.0)
+    parser.add_argument("--lte-delay-ms", type=float, default=40.0)
+    parser.add_argument("--wifi-outage", type=float, nargs=2,
+                        metavar=("START", "END"),
+                        help="blackout window on the Wi-Fi path (s)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_play(args) -> int:
+    scheme = args.scheme
+    if scheme not in SCHEMES or SCHEMES[scheme].is_mptcp:
+        print(f"unknown or unsupported scheme for play: {scheme}",
+              file=sys.stderr)
+        return 2
+    paths = _standard_paths(args)
+    if not SCHEMES[scheme].multipath:
+        paths = paths[:1]
+    video = make_video(duration_s=args.duration,
+                       bitrate_bps=args.bitrate_mbps * 1e6,
+                       seed=args.seed)
+    result = run_video_session(
+        scheme, paths, video=video,
+        player_config=PlayerConfig(max_buffer_s=args.buffer),
+        timeout_s=args.timeout, seed=args.seed)
+    m = result.metrics
+    print(f"scheme={scheme} completed={result.completed} "
+          f"virtual_time={result.duration_s:.2f}s")
+    if m.first_frame_latency is not None:
+        print(f"first_frame_latency_ms="
+              f"{m.first_frame_latency * 1000:.0f}")
+    if m.request_completion_times:
+        print(f"chunk_rct_median_s="
+              f"{percentile(m.request_completion_times, 50):.3f}")
+        print(f"chunk_rct_max_s={max(m.request_completion_times):.3f}")
+    print(f"rebuffer_s={m.rebuffer_time:.2f}")
+    print(f"redundancy_pct={result.redundancy_percent:.1f}")
+    return 0
+
+
+def cmd_race(args) -> int:
+    paths = _standard_paths(args)
+    print(f"{'scheme':<12} {'download (s)':>12}")
+    for scheme in args.schemes:
+        if scheme not in SCHEMES:
+            print(f"unknown scheme: {scheme}", file=sys.stderr)
+            return 2
+        use = paths if SCHEMES[scheme].multipath else paths[:1]
+        result = run_bulk_download(scheme, use, args.bytes,
+                                   timeout_s=args.timeout,
+                                   seed=args.seed)
+        time_s = result.download_time_s
+        print(f"{scheme:<12} "
+              f"{time_s:>12.3f}" if time_s is not None
+              else f"{scheme:<12} {'timeout':>12}")
+    return 0
+
+
+def cmd_ab(args) -> int:
+    cfg = ABTestConfig(users_per_day=args.users, seed=args.seed)
+    schemes = ["sp", args.treatment]
+    results = run_ab_day(cfg, args.day, schemes)
+    for scheme in schemes:
+        day = results[scheme]
+        rcts = day.rcts
+        print(f"{scheme:<12} rct_p50={percentile(rcts, 50):.3f} "
+              f"rct_p95={percentile(rcts, 95):.3f} "
+              f"rct_p99={percentile(rcts, 99):.3f} "
+              f"rebuffer_pct={day.rebuffer_rate * 100:.2f} "
+              f"cost_pct={day.traffic_overhead_percent:.1f}")
+    return 0
+
+
+def cmd_mobility(args) -> int:
+    pairs = extreme_mobility_trace_pairs(duration_s=args.duration)
+    if not 1 <= args.trace <= len(pairs):
+        print(f"trace id must be 1..{len(pairs)}", file=sys.stderr)
+        return 2
+    pair = pairs[args.trace - 1]
+    result = run_mobility_trace(pair, schemes=args.schemes,
+                                seed=args.seed)
+    print(f"trace {pair['trace_id']} ({pair['environment']}):")
+    for scheme in args.schemes:
+        print(f"  {scheme:<12} median={result.median(scheme):.2f}s "
+              f"max={result.maximum(scheme):.2f}s")
+    return 0
+
+
+def cmd_schemes(_args) -> int:
+    for name, scheme in SCHEMES.items():
+        kind = "mptcp" if scheme.is_mptcp else \
+            ("multipath" if scheme.multipath else "single-path")
+        print(f"{name:<12} {kind}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="XLINK reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    play = sub.add_parser("play", help="run one video session")
+    play.add_argument("--scheme", default="xlink")
+    play.add_argument("--duration", type=float, default=10.0)
+    play.add_argument("--bitrate-mbps", type=float, default=2.0)
+    play.add_argument("--buffer", type=float, default=3.0)
+    play.add_argument("--timeout", type=float, default=120.0)
+    _add_network_args(play)
+    play.set_defaults(func=cmd_play)
+
+    race = sub.add_parser("race", help="bulk download race")
+    race.add_argument("--schemes", nargs="+",
+                      default=["sp", "vanilla_mp", "xlink", "mptcp"])
+    race.add_argument("--bytes", type=int, default=2_000_000)
+    race.add_argument("--timeout", type=float, default=120.0)
+    _add_network_args(race)
+    race.set_defaults(func=cmd_race)
+
+    ab = sub.add_parser("ab", help="one A/B day vs single-path")
+    ab.add_argument("--treatment", default="xlink")
+    ab.add_argument("--users", type=int, default=10)
+    ab.add_argument("--day", type=int, default=1)
+    ab.add_argument("--seed", type=int, default=0)
+    ab.set_defaults(func=cmd_ab)
+
+    mobility = sub.add_parser("mobility", help="replay a mobility trace")
+    mobility.add_argument("--trace", type=int, default=1,
+                          help="trace id 1-10")
+    mobility.add_argument("--duration", type=float, default=30.0)
+    mobility.add_argument("--schemes", nargs="+",
+                          default=list(FIG13_SCHEMES))
+    mobility.add_argument("--seed", type=int, default=0)
+    mobility.set_defaults(func=cmd_mobility)
+
+    schemes = sub.add_parser("schemes", help="list transport schemes")
+    schemes.set_defaults(func=cmd_schemes)
+
+    report = sub.add_parser(
+        "report", help="regenerate the evaluation into a markdown file")
+    report.add_argument("--scale", default="quick",
+                        choices=["quick", "standard", "full"])
+    report.add_argument("--out", default="report.md")
+    report.add_argument("--sections", nargs="+", default=None,
+                        help="subset, e.g. fig6 fig8 ab")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+    text = generate_report(scale=args.scale, sections=args.sections)
+    with open(args.out, "w") as f:
+        f.write(text)
+    print(f"wrote {args.out} ({len(text)} chars)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""XLINK's core: QoE-driven multipath scheduling and path management.
+
+This package holds the paper's primary contribution:
+
+- :mod:`repro.core.qoe_control` -- the double-thresholding controller
+  (Alg. 1) that decides, from client QoE feedback, when re-injection
+  is worth its redundancy cost.
+- :mod:`repro.core.scheduler` -- packet schedulers: min-RTT
+  (vanilla-MP / Linux MPTCP default), round-robin, single-path, and
+  the XLINK scheduler with priority-based re-injection (Fig. 4).
+- :mod:`repro.core.path_manager` -- wireless-aware primary path
+  selection and path-set utilities (Sec. 5.3).
+"""
+
+from repro.core.qoe_control import (DoubleThresholdController,
+                                    ReinjectionMode, ThresholdConfig)
+from repro.core.scheduler import (MinRttScheduler, RoundRobinScheduler,
+                                  SinglePathScheduler, XlinkScheduler)
+from repro.core.path_manager import (WIRELESS_PREFERENCE_ORDER,
+                                     select_primary_path)
+
+__all__ = [
+    "DoubleThresholdController",
+    "ReinjectionMode",
+    "ThresholdConfig",
+    "MinRttScheduler",
+    "RoundRobinScheduler",
+    "SinglePathScheduler",
+    "XlinkScheduler",
+    "WIRELESS_PREFERENCE_ORDER",
+    "select_primary_path",
+]

@@ -1,0 +1,50 @@
+"""QoE-aware path management (Sec. 5.3).
+
+Two policies live here:
+
+- *Wireless-aware primary path selection*: the primary path (the one
+  the connection handshake runs on) is chosen by radio technology,
+  preferring the lowest-delay access: 5G SA > 5G NSA > Wi-Fi > LTE.
+  Fig. 7 shows the first-video-frame delivery time is bounded by the
+  primary path's quality, so starting on the right radio matters.
+- The ACK_MP return-path policy itself is applied inside
+  :class:`repro.quic.connection.Connection` (``ack_path_policy``);
+  this module documents and exposes the strategy names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.traces.radio_profiles import RADIO_PROFILES, RadioType
+
+#: The paper's example ordering (Sec. 5.3); first = most preferred.
+WIRELESS_PREFERENCE_ORDER: Tuple[RadioType, ...] = (
+    RadioType.NR_SA, RadioType.NR_NSA, RadioType.WIFI, RadioType.LTE,
+)
+
+#: ACK_MP return-path strategies (Fig. 8).
+ACK_PATH_STRATEGIES = ("fastest", "original")
+
+
+def select_primary_path(interfaces: Sequence[Tuple[int, RadioType]],
+                        order: Sequence[RadioType] = WIRELESS_PREFERENCE_ORDER
+                        ) -> int:
+    """Pick the network interface to start the connection on.
+
+    ``interfaces`` is a sequence of (net_path_id, radio) pairs; returns
+    the preferred net_path_id per the wireless-aware ordering.  Radios
+    not in ``order`` rank last, by profile preference as a tiebreaker.
+    """
+    if not interfaces:
+        raise ValueError("no interfaces available")
+    rank: Dict[RadioType, int] = {r: i for i, r in enumerate(order)}
+
+    def key(item: Tuple[int, RadioType]) -> Tuple[int, int, int]:
+        net_id, radio = item
+        primary = rank.get(radio, len(order))
+        profile_pref = -RADIO_PROFILES[radio].preference \
+            if radio in RADIO_PROFILES else 0
+        return (primary, profile_pref, net_id)
+
+    return min(interfaces, key=key)[0]

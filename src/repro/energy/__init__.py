@@ -1,0 +1,7 @@
+"""Radio energy model (Fig. 14 substrate)."""
+
+from repro.energy.model import (EnergyAccount, RadioPowerModel,
+                                POWER_MODELS, energy_per_bit)
+
+__all__ = ["EnergyAccount", "RadioPowerModel", "POWER_MODELS",
+           "energy_per_bit"]

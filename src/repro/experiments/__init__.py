@@ -1,0 +1,24 @@
+"""Experiment harness and per-figure drivers.
+
+:mod:`repro.experiments.harness` runs one video session end-to-end
+inside the discrete-event emulator under a chosen transport scheme
+(SP / CM / vanilla-MP / MPTCP / XLINK variants); the other modules
+build the paper's experiments on top of it.
+"""
+
+from repro.experiments.harness import (PathSpec, SchemeConfig, SessionResult,
+                                       run_video_session, run_bulk_download,
+                                       SCHEMES)
+from repro.experiments.abtest import ABTestConfig, run_ab_day, run_ab_test
+
+__all__ = [
+    "PathSpec",
+    "SchemeConfig",
+    "SessionResult",
+    "run_video_session",
+    "run_bulk_download",
+    "SCHEMES",
+    "ABTestConfig",
+    "run_ab_day",
+    "run_ab_test",
+]

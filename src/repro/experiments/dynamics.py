@@ -1,0 +1,206 @@
+"""Time-series experiment drivers: Fig. 1(a/b) and Fig. 6.
+
+Fig. 1a/1b replays a fast-varying Wi-Fi trace and a stable LTE trace
+under vanilla-MP and samples each path's in-flight bytes and CWND
+against the trace capacity -- showing the CWND failing to track the
+Wi-Fi collapse.
+
+Fig. 6 replays a two-path network where path 1 deteriorates and logs
+the client's buffer level and the server's cumulative re-injected
+bytes for (b) vanilla-MP, (c) re-injection without QoE control and
+(d) re-injection with QoE control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import (MinRttScheduler, ReinjectionMode, SinglePathScheduler,
+                        ThresholdConfig, XlinkScheduler)
+from repro.netem import Datagram, MultipathNetwork
+from repro.quic.connection import Connection, ConnectionConfig
+from repro.sim import EventLoop
+from repro.traces import (campus_walk_wifi_trace, stable_lte_trace,
+                          trace_from_rate_series)
+from repro.video import MediaServer, PlayerConfig, VideoPlayer, make_video
+
+
+@dataclass
+class PathDynamics:
+    """Sampled per-path time series (Fig. 1a/1b content)."""
+
+    times: List[float] = field(default_factory=list)
+    inflight_bytes: List[int] = field(default_factory=list)
+    cwnd_bytes: List[float] = field(default_factory=list)
+
+    def max_inflight_in(self, t0: float, t1: float) -> int:
+        values = [v for t, v in zip(self.times, self.inflight_bytes)
+                  if t0 <= t < t1]
+        return max(values) if values else 0
+
+
+@dataclass
+class SessionDynamics:
+    """Sampled session time series (Fig. 6 content)."""
+
+    times: List[float] = field(default_factory=list)
+    buffer_bytes: List[int] = field(default_factory=list)
+    reinjected_bytes: List[int] = field(default_factory=list)
+    rebuffer_time: float = 0.0
+    redundancy_percent: float = 0.0
+
+    def min_buffer_in(self, t0: float, t1: float) -> int:
+        values = [v for t, v in zip(self.times, self.buffer_bytes)
+                  if t0 <= t < t1]
+        return min(values) if values else 0
+
+    def total_reinjected(self) -> int:
+        return self.reinjected_bytes[-1] if self.reinjected_bytes else 0
+
+
+def _wire_session(loop: EventLoop, net: MultipathNetwork, scheduler,
+                  video, player_config, seed: int = 0,
+                  client_scheduler=None):
+    client = Connection(
+        loop, ConnectionConfig(is_client=True, seed=seed),
+        transmit=lambda pid, d: net.client.send(
+            Datagram(payload=d, path_id=pid)),
+        scheduler=client_scheduler or MinRttScheduler(),
+        connection_name=f"dyn-{seed}")
+    server = Connection(
+        loop, ConnectionConfig(is_client=False, seed=seed),
+        transmit=lambda pid, d: net.server.send(
+            Datagram(payload=d, path_id=pid)),
+        scheduler=scheduler, connection_name=f"dyn-{seed}")
+    net.client.on_receive(lambda d: client.datagram_received(d.payload,
+                                                             d.path_id))
+    net.server.on_receive(lambda d: server.datagram_received(d.payload,
+                                                             d.path_id))
+    client.add_local_path(0, 0)
+    server.add_local_path(0, 0)
+    MediaServer(server, {video.name: video})
+    player = VideoPlayer(loop, client, video, config=player_config)
+
+    def on_established() -> None:
+        if client.multipath_negotiated and 1 in net.paths:
+            client.open_path(1, 1)
+        player.start()
+
+    client.on_established = on_established
+    return client, server, player
+
+
+def run_fig1_dynamics(duration_s: float = 3.0, sample_interval_s: float = 0.02,
+                      seed: int = 1) -> Dict[int, PathDynamics]:
+    """Fig. 1a/1b: vanilla-MP on campus Wi-Fi (path 0) + stable LTE
+    (path 1); returns per-path (in-flight, cwnd) time series."""
+    loop = EventLoop()
+    net = MultipathNetwork(loop)
+    net.add_trace_path(0, campus_walk_wifi_trace(duration_s, seed=seed),
+                       one_way_delay_s=0.015)
+    net.add_trace_path(1, stable_lte_trace(duration_s, seed=seed + 1),
+                       one_way_delay_s=0.035)
+    # A heavy workload keeps both pipes full, matching the replay.
+    video = make_video(name="fig1", duration_s=duration_s + 5,
+                       bitrate_bps=20_000_000, seed=seed,
+                       chunk_size=512 * 1024)
+    player_config = PlayerConfig(concurrent_requests=4, max_buffer_s=1e9)
+    client, server, player = _wire_session(
+        loop, net, MinRttScheduler(), video, player_config, seed=seed)
+    client.connect()
+
+    dynamics = {0: PathDynamics(), 1: PathDynamics()}
+
+    def sample() -> None:
+        for pid, series in dynamics.items():
+            path = server.paths.get(pid)
+            if path is None:
+                continue
+            series.times.append(loop.now)
+            series.inflight_bytes.append(path.loss.bytes_in_flight)
+            series.cwnd_bytes.append(path.cc.cwnd)
+        if loop.now < duration_s:
+            loop.schedule_after(sample_interval_s, sample)
+
+    loop.schedule_after(sample_interval_s, sample)
+    loop.run(until=duration_s)
+    return dynamics
+
+
+#: The three Fig. 6 configurations.
+FIG6_MODES = ("vanilla_mp", "reinject_no_qoe", "reinject_with_qoe")
+
+
+def _fig6_network(loop: EventLoop, duration_s: float,
+                  seed: int) -> MultipathNetwork:
+    """Two paths; path 1 deteriorates to near-zero at t in [2, 4.5)."""
+    rates1 = []
+    rates2 = []
+    interval = 0.1
+    for i in range(int((duration_s + 5) / interval)):
+        t = i * interval
+        # Path 1 deteriorates to a total blackout in [2.0, 5.0) --
+        # the Fig. 6a shape.  Path 2 alone can sustain the bitrate,
+        # so the stall vanilla-MP suffers is pure MP-HoL blocking.
+        rates1.append(0.0 if 2.0 <= t < 5.0 else 10e6)
+        rates2.append(6e6)
+    net = MultipathNetwork(loop)
+    net.add_trace_path(0, trace_from_rate_series(rates1, interval),
+                       one_way_delay_s=0.015)
+    net.add_trace_path(1, trace_from_rate_series(rates2, interval),
+                       one_way_delay_s=0.040)
+    return net
+
+
+def run_fig6_dynamics(mode: str, duration_s: float = 7.0,
+                      sample_interval_s: float = 0.05,
+                      thresholds: Optional[ThresholdConfig] = None,
+                      seed: int = 4) -> SessionDynamics:
+    """One Fig. 6 panel: buffer level + re-injected bytes vs time."""
+    if mode not in FIG6_MODES:
+        raise ValueError(f"unknown fig6 mode {mode!r}")
+    loop = EventLoop()
+    net = _fig6_network(loop, duration_s, seed)
+    # The client is an XLINK endpoint in the re-injection variants
+    # (the deployed app ships the full client); vanilla-MP keeps a
+    # plain min-RTT client, whose requests can wedge on a dead primary
+    # -- part of the failure Fig. 6b illustrates.
+    client_scheduler = None
+    if mode == "vanilla_mp":
+        scheduler = MinRttScheduler()
+    elif mode == "reinject_no_qoe":
+        scheduler = XlinkScheduler(thresholds=ThresholdConfig(always_on=True))
+        client_scheduler = XlinkScheduler(
+            thresholds=ThresholdConfig(always_on=True))
+    else:
+        gate = thresholds or ThresholdConfig(t_th1=0.5, t_th2=2.0)
+        scheduler = XlinkScheduler(thresholds=gate)
+        client_scheduler = XlinkScheduler(thresholds=gate)
+    video = make_video(name="fig6", duration_s=duration_s + 4,
+                       bitrate_bps=4_000_000, seed=seed,
+                       chunk_size=256 * 1024)
+    player_config = PlayerConfig(max_buffer_s=2.5)
+    client, server, player = _wire_session(
+        loop, net, scheduler, video, player_config, seed=seed,
+        client_scheduler=client_scheduler)
+    client.connect()
+
+    series = SessionDynamics()
+
+    def sample() -> None:
+        series.times.append(loop.now)
+        series.buffer_bytes.append(player.buffered_bytes())
+        series.reinjected_bytes.append(
+            server.stats.stream_bytes_reinjected)
+        if loop.now < duration_s:
+            loop.schedule_after(sample_interval_s, sample)
+
+    loop.schedule_after(sample_interval_s, sample)
+    loop.run(until=duration_s)
+    series.rebuffer_time = player.stats.rebuffer_time
+    if server.stats.stream_bytes_new:
+        series.redundancy_percent = (
+            server.stats.stream_bytes_reinjected
+            / server.stats.stream_bytes_new * 100.0)
+    return series

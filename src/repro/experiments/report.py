@@ -1,0 +1,176 @@
+"""One-shot evaluation report: regenerate every figure/table to a file.
+
+``python -m repro report --out report.md`` runs scaled-down versions
+of every experiment and writes a self-contained markdown report with
+the regenerated rows/series -- the quickest way to eyeball the whole
+reproduction without reading bench output.  Scale knobs trade fidelity
+for runtime ("quick" finishes in a couple of minutes).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.abtest import (ABTestConfig, daily_improvement,
+                                      run_ab_test)
+from repro.experiments.dynamics import FIG6_MODES, run_fig6_dynamics
+from repro.experiments.energyexp import normalize, run_fig14
+from repro.experiments.firstframe import FIG12_PERCENTILES, run_fig12
+from repro.experiments.mobility import FIG13_SCHEMES, run_fig13
+from repro.experiments.pathexp import run_fig7, run_fig8
+from repro.metrics import improvement_percent, percentile
+
+#: scale name -> (ab users, ab days, mobility traces)
+SCALES = {
+    "quick": (6, 2, 2),
+    "standard": (12, 4, 4),
+    "full": (20, 7, 10),
+}
+
+
+@dataclass
+class ReportSection:
+    title: str
+    body: str
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    out = ["| " + " | ".join(str(h) for h in header) + " |",
+           "|" + "---|" * len(header)]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def section_fig6() -> ReportSection:
+    rows = []
+    for mode in FIG6_MODES:
+        series = run_fig6_dynamics(mode)
+        rows.append([mode,
+                     f"{series.min_buffer_in(2.0, 5.2) / 1e3:.0f} KB",
+                     f"{series.rebuffer_time:.2f} s",
+                     f"{series.redundancy_percent:.1f}%"])
+    body = _table(["mode", "min buffer (blackout)", "rebuffer",
+                   "redundancy"], rows)
+    return ReportSection("Fig. 6 — re-injection & QoE control dynamics",
+                         body)
+
+
+def section_fig7() -> ReportSection:
+    sweep = run_fig7(frame_sizes=(128 * 1024, 512 * 1024, 2 * 1024 ** 2))
+    rows = []
+    for (size, wifi_t), (_s, nr_t) in zip(sweep["wifi"], sweep["5g"]):
+        rows.append([f"{size // 1024} KB", f"{wifi_t * 1000:.0f} ms",
+                     f"{nr_t * 1000:.0f} ms"])
+    return ReportSection(
+        "Fig. 7 — first-frame delivery vs primary path",
+        _table(["first frame", "WiFi primary", "5G primary"], rows))
+
+
+def section_fig8() -> ReportSection:
+    sweep = run_fig8(ratios=(1, 4, 8))
+    rows = []
+    for (ratio, fast), (_r, orig) in zip(sweep["fastest"],
+                                         sweep["original"]):
+        rows.append([f"{ratio}:1", f"{fast:.2f} s", f"{orig:.2f} s"])
+    return ReportSection(
+        "Fig. 8 — ACK_MP return-path strategies (4 MB, Cubic)",
+        _table(["RTT ratio", "min-RTT path", "original path"], rows))
+
+
+def section_ab(users: int, days: int) -> List[ReportSection]:
+    sections = []
+    # Fig. 1c + Table 1 (vanilla-MP study population).
+    cfg = ABTestConfig(users_per_day=users, days=days, seed=3)
+    results = run_ab_test(cfg, ["sp", "vanilla_mp"])
+    rows = []
+    for sp, mp in zip(results["sp"], results["vanilla_mp"]):
+        rows.append([sp.day, f"{sp.rct_percentile(99):.2f}",
+                     f"{mp.rct_percentile(99):.2f}",
+                     f"{improvement_percent(sp.rebuffer_rate, mp.rebuffer_rate):+.0f}%"])
+    sections.append(ReportSection(
+        "Fig. 1c + Table 1 — vanilla-MP vs SP",
+        _table(["day", "SP p99 RCT (s)", "MP p99 RCT (s)",
+                "rebuffer change"], rows)))
+    # Fig. 11 + Table 3 (XLINK study population).
+    cfg = ABTestConfig(users_per_day=users, days=days, seed=3,
+                       wifi_rate_mu=15.5, wifi_outage_prob=0.25)
+    results = run_ab_test(cfg, ["sp", "xlink"])
+    rows = []
+    for sp, xl in zip(results["sp"], results["xlink"]):
+        rows.append([sp.day, f"{sp.rct_percentile(99):.2f}",
+                     f"{xl.rct_percentile(99):.2f}",
+                     f"{improvement_percent(sp.rebuffer_rate, xl.rebuffer_rate):+.0f}%",
+                     f"{xl.traffic_overhead_percent:.1f}%"])
+    sections.append(ReportSection(
+        "Fig. 11 + Table 3 — XLINK vs SP",
+        _table(["day", "SP p99 RCT (s)", "XLINK p99 RCT (s)",
+                "rebuffer improvement", "cost"], rows)))
+    return sections
+
+
+def section_fig12(users: int) -> ReportSection:
+    cfg = ABTestConfig(users_per_day=users, seed=7)
+    result = run_fig12(cfg)
+    rows = []
+    for pct in FIG12_PERCENTILES:
+        rows.append([f"p{pct}",
+                     f"{result.with_acceleration[pct]:+.1f}%",
+                     f"{result.without_acceleration[pct]:+.1f}%"])
+    return ReportSection(
+        "Fig. 12 — first-frame latency improvement over SP",
+        _table(["percentile", "with acceleration", "without"], rows))
+
+
+def section_fig13(n_traces: int) -> ReportSection:
+    results = run_fig13(n_traces=n_traces, seed=2)
+    rows = []
+    for r in results:
+        row = [f"{r.trace_id} ({r.environment[:6]})"]
+        for scheme in FIG13_SCHEMES:
+            row.append(f"{r.median(scheme):.2f}/{r.maximum(scheme):.2f}")
+        rows.append(row)
+    return ReportSection(
+        "Fig. 13 — extreme mobility, request download time median/max (s)",
+        _table(["trace"] + list(FIG13_SCHEMES), rows))
+
+
+def section_fig14() -> ReportSection:
+    points = normalize(run_fig14(sizes=(4_000_000,)))
+    rows = [[p.config, f"{p.energy_per_bit_j:.2f}",
+             f"{p.throughput_mbps:.2f}"] for p in points]
+    return ReportSection(
+        "Fig. 14 — normalized energy/bit vs throughput",
+        _table(["config", "norm J/bit", "norm throughput"], rows))
+
+
+def generate_report(scale: str = "quick",
+                    sections: Optional[Sequence[str]] = None) -> str:
+    """Build the markdown report; ``sections`` filters by fig name."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; pick from {list(SCALES)}")
+    users, days, traces = SCALES[scale]
+
+    builders: Dict[str, Callable[[], List[ReportSection]]] = {
+        "fig6": lambda: [section_fig6()],
+        "fig7": lambda: [section_fig7()],
+        "fig8": lambda: [section_fig8()],
+        "ab": lambda: section_ab(users, days),
+        "fig12": lambda: [section_fig12(users)],
+        "fig13": lambda: [section_fig13(traces)],
+        "fig14": lambda: [section_fig14()],
+    }
+    chosen = sections or list(builders)
+    out = io.StringIO()
+    out.write("# XLINK reproduction — regenerated evaluation\n\n")
+    out.write(f"Scale: `{scale}` ({users} users/day, {days} days, "
+              f"{traces} mobility traces). Shapes, not absolute\n"
+              f"numbers, are the comparison target; see EXPERIMENTS.md.\n")
+    for key in chosen:
+        if key not in builders:
+            raise ValueError(f"unknown section {key!r}")
+        for section in builders[key]():
+            out.write(f"\n## {section.title}\n\n{section.body}\n")
+    return out.getvalue()

@@ -1,0 +1,148 @@
+"""Double-threshold sweep driver: Fig. 10 and Table 2.
+
+The paper sweeps threshold pairs expressed as percentiles of the
+measured play-time-left distribution: (95,80), (90,80), (90,60),
+(60,50), (60,1) and (1,1), plus re-injection off.  Recall the
+convention (Sec. 7.1): th(X) is the value such that X% of play-time
+samples are *above* it, so th(95) is a small number of seconds and
+th(1) is large -- (1,1) effectively means "QoE control off".
+
+The driver first measures the play-time-left distribution with the
+control off, converts the percentile pairs into seconds, then runs the
+population once per setting, reporting:
+
+- buffer-level improvement over SP at p90/p95/p99 (improvement in the
+  *low tail*: we compare the (100-p)-th percentile of buffer levels,
+  so "p99" reflects the worst 1% of samples -- the tail the paper's
+  buffer improvements describe);
+- redundant-traffic cost (% of useful bytes);
+- the percentage reduction of buffer-level samples below 50 ms
+  (Table 2's rebuffer-danger metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import ThresholdConfig
+from repro.experiments.abtest import ABTestConfig, run_ab_day
+from repro.experiments.harness import SCHEMES, SchemeConfig
+from repro.metrics.stats import percentile
+
+#: The paper's threshold settings, as (X, Y) percentile pairs.
+PAPER_THRESHOLD_SETTINGS = ((95, 80), (90, 80), (90, 60), (60, 50),
+                            (60, 1), (1, 1))
+
+#: Table 2's rebuffer-danger level: 50 ms of play-time left.
+DANGER_LEVEL_S = 0.050
+
+
+def measure_playtime_distribution(cfg: ABTestConfig,
+                                  scheme: str = "vanilla_mp"
+                                  ) -> List[float]:
+    """Buffer play-time-left samples with re-injection control off."""
+    day = run_ab_day(cfg, 1, [scheme])[scheme]
+    samples: List[float] = []
+    for session in day.sessions:
+        samples.extend(session.buffer_level_samples)
+    if not samples:
+        raise RuntimeError("no buffer samples collected")
+    return samples
+
+
+def percentile_pair_to_seconds(samples: Sequence[float],
+                               x: int, y: int) -> ThresholdConfig:
+    """Convert (X, Y) percentile thresholds into seconds.
+
+    th(X) is the value with X% of samples above it, i.e. the
+    (100-X)-th percentile of the distribution.
+    """
+    t1 = percentile(samples, 100 - x)
+    t2 = percentile(samples, 100 - y)
+    if t1 > t2:  # degenerate distributions: keep the config valid
+        t1 = t2
+    return ThresholdConfig(t_th1=t1, t_th2=t2)
+
+
+@dataclass
+class ThresholdResult:
+    """One Fig. 10 bar group + its Table 2 entry."""
+
+    label: str
+    thresholds: Optional[ThresholdConfig]
+    buffer_improvement_p90: float
+    buffer_improvement_p95: float
+    buffer_improvement_p99: float
+    cost_percent: float
+    danger_reduction_percent: float
+
+
+def _low_tail(samples: Sequence[float], pct: float) -> float:
+    """The (100-pct)-th percentile: the 'worst pct%' buffer level."""
+    return percentile(samples, 100 - pct)
+
+
+def _danger_fraction(samples: Sequence[float]) -> float:
+    if not samples:
+        return 0.0
+    return sum(1 for s in samples if s < DANGER_LEVEL_S) / len(samples)
+
+
+def run_threshold_sweep(cfg: ABTestConfig,
+                        settings: Sequence[Tuple[int, int]] =
+                        PAPER_THRESHOLD_SETTINGS,
+                        include_off: bool = True) -> List[ThresholdResult]:
+    """Fig. 10 / Table 2: sweep threshold settings over one population."""
+    distribution = measure_playtime_distribution(cfg)
+    sp_day = run_ab_day(cfg, 2, ["sp"])["sp"]
+    sp_samples = [s for sess in sp_day.sessions
+                  for s in sess.buffer_level_samples]
+
+    def run_with(label: str, thresholds: Optional[ThresholdConfig]
+                 ) -> ThresholdResult:
+        if thresholds is None:
+            scheme_name = "vanilla_mp"  # re-injection off entirely
+            overrides = None
+        else:
+            scheme_name = f"_sweep_{label}"
+            base = SCHEMES["xlink"]
+            import dataclasses
+            SCHEMES[scheme_name] = dataclasses.replace(
+                base, name=scheme_name, thresholds=thresholds)
+            overrides = None
+        try:
+            day = run_ab_day(cfg, 2, [scheme_name], overrides)[scheme_name]
+        finally:
+            if thresholds is not None:
+                del SCHEMES[scheme_name]
+        samples = [s for sess in day.sessions
+                   for s in sess.buffer_level_samples]
+        cost = day.traffic_overhead_percent
+
+        def improvement(pct: float) -> float:
+            sp_val = _low_tail(sp_samples, pct)
+            val = _low_tail(samples, pct)
+            if sp_val <= 0:
+                return 0.0 if val <= 0 else 100.0
+            return (val - sp_val) / sp_val * 100.0
+
+        sp_danger = _danger_fraction(sp_samples)
+        danger = _danger_fraction(samples)
+        danger_reduction = (0.0 if sp_danger == 0 else
+                            (sp_danger - danger) / sp_danger * 100.0)
+        return ThresholdResult(
+            label=label, thresholds=thresholds,
+            buffer_improvement_p90=improvement(90),
+            buffer_improvement_p95=improvement(95),
+            buffer_improvement_p99=improvement(99),
+            cost_percent=cost,
+            danger_reduction_percent=danger_reduction)
+
+    results: List[ThresholdResult] = []
+    if include_off:
+        results.append(run_with("re-inj. off", None))
+    for x, y in settings:
+        thresholds = percentile_pair_to_seconds(distribution, x, y)
+        results.append(run_with(f"{x}-{y}", thresholds))
+    return results

@@ -1,0 +1,5 @@
+"""QUIC-LB load balancing (Sec. 6, 'Work with Load Balancers')."""
+
+from repro.lb.quic_lb import ConsistentHashRing, QuicLbRouter
+
+__all__ = ["ConsistentHashRing", "QuicLbRouter"]

@@ -1,0 +1,14 @@
+"""Statistics and QoE metrics used across the evaluation."""
+
+from repro.metrics.stats import Summary, percentile, summarize
+from repro.metrics.qoe import (SessionMetrics, aggregate_rebuffer_rate,
+                               improvement_percent)
+
+__all__ = [
+    "Summary",
+    "percentile",
+    "summarize",
+    "SessionMetrics",
+    "aggregate_rebuffer_rate",
+    "improvement_percent",
+]

@@ -1,0 +1,70 @@
+"""Percentiles and summary statistics.
+
+The paper reports medians, 90/95/99-th percentiles throughout; this
+module provides the single implementation every bench uses (linear
+interpolation, matching numpy's default).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile, pct in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile {pct} out of range")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    value = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # Interpolation rounding must not escape the sample range.
+    return min(max(value, ordered[lo]), ordered[hi])
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary for one metric."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    maximum: float
+    minimum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count, "mean": self.mean, "p50": self.p50,
+            "p90": self.p90, "p95": self.p95, "p99": self.p99,
+            "max": self.maximum, "min": self.minimum,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` from raw samples."""
+    data: List[float] = list(values)
+    if not data:
+        raise ValueError("cannot summarize empty data")
+    return Summary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        p50=percentile(data, 50),
+        p90=percentile(data, 90),
+        p95=percentile(data, 95),
+        p99=percentile(data, 99),
+        maximum=max(data),
+        minimum=min(data),
+    )

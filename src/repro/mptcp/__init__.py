@@ -1,0 +1,19 @@
+"""Simplified MPTCP baseline (RFC 6824 behaviour relevant to Fig. 13).
+
+MPTCP differs from multipath QUIC in the two ways that drive the
+paper's comparison:
+
+- it carries a *single ordered byte stream*, so any gap blocks all
+  later data at the receiver (no independent streams); and
+- ACKs return on the *same subflow* the data used (Sec. 5.3), so a
+  slow path also has a slow ack clock.
+
+The model implements the Linux default min-RTT scheduler with
+opportunistic retransmission and subflow penalization (halving the
+cwnd of the blocking subflow), per Raiciu et al. and the paper's
+Sec. 8 description.
+"""
+
+from repro.mptcp.connection import MptcpConnection, MptcpConfig
+
+__all__ = ["MptcpConnection", "MptcpConfig"]

@@ -1,0 +1,317 @@
+"""MPTCP sender/receiver model.
+
+The sender (server) streams ``total_bytes`` to the receiver (client)
+across N subflows:
+
+- min-RTT scheduler over subflows with cwnd space (Linux default);
+- per-subflow cumulative acks, 3-dupack fast retransmit, and RTO;
+- ACKs return on the *same* subflow that carried the data;
+- receiver reassembles a single ordered byte stream -- a gap left by a
+  slow subflow blocks everything after it (the MP-HoL of Sec. 1);
+- opportunistic retransmission + penalization: when the in-order
+  point stalls on data outstanding on one subflow while another
+  subflow is idle, the stalled bytes are re-sent on the fastest other
+  subflow and the blocker's cwnd is halved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.quic.cc import make_cc
+from repro.quic.rtt import RttEstimator
+from repro.mptcp.segments import (AckSegment, DataSegment, RequestSegment,
+                                  MSS, decode_segment)
+from repro.sim.event_loop import EventLoop
+
+RTO_MIN = 0.2
+DUPACK_THRESHOLD = 3
+PENALIZATION_INTERVAL = 1.0  # at most one penalization per subflow per second
+
+
+@dataclass
+class MptcpConfig:
+    cc_algorithm: str = "cubic"
+    opportunistic_retransmit: bool = True
+    penalization: bool = True
+
+
+class _Subflow:
+    """Sender-side state for one subflow."""
+
+    def __init__(self, subflow_id: int, cc) -> None:
+        self.subflow_id = subflow_id
+        self.cc = cc
+        self.rtt = RttEstimator()
+        self.next_seq = 0
+        self.highest_acked = 0
+        #: subflow_seq -> (data_seq, length, sent_time, retransmitted)
+        self.outstanding: Dict[int, Tuple[int, int, float, bool]] = {}
+        self.dupacks = 0
+        self.rto_event = None
+        self.last_penalized = -1e9
+
+    @property
+    def srtt(self) -> float:
+        return self.rtt.smoothed
+
+    def rto(self) -> float:
+        return max(self.rtt.smoothed + 4 * self.rtt.rttvar, RTO_MIN)
+
+
+class MptcpConnection:
+    """Both halves of a one-transfer MPTCP session.
+
+    The harness creates one instance per role and wires ``transmit``
+    to the emulated network, exactly as for the QUIC connections.
+    """
+
+    def __init__(self, loop: EventLoop, is_server: bool,
+                 transmit: Callable[[int, bytes], None],
+                 config: Optional[MptcpConfig] = None) -> None:
+        self.loop = loop
+        self.is_server = is_server
+        self.transmit = transmit
+        self.config = config if config is not None else MptcpConfig()
+        self.subflows: Dict[int, _Subflow] = {}
+        # sender state
+        self.total_bytes = 0
+        self.next_data_seq = 0
+        self.data_acked = 0
+        #: data ranges needing (re)transmission, highest priority first
+        self._rtx_queue: List[Tuple[int, int]] = []
+        self._sent_ranges_on: Dict[int, int] = {}
+        # receiver state
+        self._received: Set[Tuple[int, int]] = set()
+        self._in_order_point = 0
+        self._recv_subflow_acks: Dict[int, int] = {}
+        self._expected_total: Optional[int] = None
+        self.completed_at: Optional[float] = None
+        self.on_complete: Optional[Callable[[], None]] = None
+        self.stats_retransmitted_bytes = 0
+
+    # -- setup ------------------------------------------------------------
+
+    def add_subflow(self, subflow_id: int) -> None:
+        self.subflows[subflow_id] = _Subflow(
+            subflow_id, make_cc(self.config.cc_algorithm))
+        self._recv_subflow_acks[subflow_id] = 0
+
+    # -- client side --------------------------------------------------------
+
+    def request(self, total_bytes: int) -> None:
+        """Client: ask the server for ``total_bytes``.
+
+        The tiny request rides every subflow: a real TCP stack would
+        retransmit it until acked, and duplicating it across subflows
+        is the simplest equivalent that survives a fade on one path.
+        """
+        if self.is_server:
+            raise RuntimeError("only the client requests")
+        self._expected_total = total_bytes
+        payload = RequestSegment(total_bytes=total_bytes).encode()
+        for subflow_id in self.subflows or {0: None}:
+            self.transmit(subflow_id, payload)
+
+    # -- datagram entry point ---------------------------------------------------
+
+    def datagram_received(self, payload: bytes, subflow_id: int) -> None:
+        segment = decode_segment(payload)
+        if isinstance(segment, RequestSegment):
+            self._on_request(segment)
+        elif isinstance(segment, DataSegment):
+            self._on_data(segment, subflow_id)
+        elif isinstance(segment, AckSegment):
+            self._on_ack(segment, subflow_id)
+
+    # -- server (sender) ----------------------------------------------------------
+
+    def _on_request(self, segment: RequestSegment) -> None:
+        # Requests extend the transfer target; a later range request on
+        # the same connection continues the byte stream (HTTP/1.1
+        # keep-alive semantics), so the send cursor is never rewound.
+        self.total_bytes = max(segment.total_bytes, self.total_bytes)
+        self._pump()
+
+    def _pump(self) -> None:
+        """Min-RTT scheduling of new + retransmission data."""
+        while True:
+            flow = self._pick_subflow()
+            if flow is None:
+                return
+            if self._rtx_queue:
+                data_seq, length = self._rtx_queue.pop(0)
+                self.stats_retransmitted_bytes += length
+            elif self.next_data_seq < self.total_bytes:
+                data_seq = self.next_data_seq
+                length = min(MSS, self.total_bytes - data_seq)
+                self.next_data_seq += length
+            else:
+                return
+            self._send_segment(flow, data_seq, length)
+
+    def _pick_subflow(self) -> Optional[_Subflow]:
+        ready = [f for f in self.subflows.values()
+                 if f.cc.can_send(MSS)]
+        if not ready:
+            return None
+        return min(ready, key=lambda f: f.srtt)
+
+    def _send_segment(self, flow: _Subflow, data_seq: int,
+                      length: int) -> None:
+        seq = flow.next_seq
+        flow.next_seq += 1
+        flow.outstanding[seq] = (data_seq, length, self.loop.now, False)
+        self._sent_ranges_on[data_seq] = flow.subflow_id
+        flow.cc.on_packet_sent(length, self.loop.now)
+        segment = DataSegment(subflow_seq=seq, data_seq=data_seq,
+                              payload_len=length)
+        self.transmit(flow.subflow_id, segment.encode())
+        self._arm_rto(flow)
+
+    def _arm_rto(self, flow: _Subflow) -> None:
+        if flow.rto_event is not None:
+            flow.rto_event.cancel()
+        if not flow.outstanding:
+            flow.rto_event = None
+            return
+        flow.rto_event = self.loop.schedule_after(
+            flow.rto(), lambda: self._on_rto(flow), label="mptcp-rto")
+
+    def _on_rto(self, flow: _Subflow) -> None:
+        flow.rto_event = None
+        if not flow.outstanding:
+            return
+        # Retransmit everything outstanding on this subflow; collapse cwnd.
+        for seq, (data_seq, length, _t, _r) in sorted(
+                flow.outstanding.items()):
+            if data_seq + length > self.data_acked:
+                self._rtx_queue.insert(0, (data_seq, length))
+            flow.cc.on_discarded(length)
+        flow.outstanding.clear()
+        flow.cc.on_packets_lost(0, self.loop.now, self.loop.now)
+        flow.cc.ssthresh = max(flow.cc.cwnd, flow.cc.ssthresh / 2)
+        self._pump()
+        self._arm_rto(flow)
+
+    def _on_ack(self, segment: AckSegment, subflow_id: int) -> None:
+        """Process an echo-ack: ``subflow_ack`` is (received seq + 1).
+
+        The receiver echoes each arriving segment's subflow sequence
+        number, so the sender can credit exactly that segment and
+        declare older outstanding segments lost once the echo horizon
+        has moved DUPACK_THRESHOLD past them (TCP's 3-dupack rule in
+        echo form -- retransmissions here use fresh sequence numbers,
+        so a cumulative ack would wedge on the first hole).
+        """
+        flow = self.subflows.get(subflow_id)
+        if flow is None:
+            return
+        now = self.loop.now
+        if segment.data_ack > self.data_acked:
+            self.data_acked = segment.data_ack
+            self._rtx_queue = [(d, l) for d, l in self._rtx_queue
+                               if d + l > self.data_acked]
+        echoed = segment.subflow_ack - 1
+        if echoed in flow.outstanding:
+            data_seq, length, sent_time, _r = flow.outstanding.pop(echoed)
+            flow.rtt.update(max(now - sent_time, 1e-6))
+            flow.cc.on_packet_acked(length, sent_time, now,
+                                    flow.rtt.smoothed)
+        if echoed > flow.highest_acked:
+            flow.highest_acked = echoed
+        self._detect_subflow_losses(flow)
+        self._maybe_opportunistic_rtx()
+        self._pump()
+        self._arm_rto(flow)
+
+    def _detect_subflow_losses(self, flow: _Subflow) -> None:
+        """3-dupack-equivalent: seqs well behind the echo horizon."""
+        horizon = flow.highest_acked - DUPACK_THRESHOLD
+        lost = sorted(s for s in flow.outstanding if s <= horizon)
+        for seq in lost:
+            data_seq, length, sent_time, _r = flow.outstanding.pop(seq)
+            flow.cc.on_packets_lost(length, sent_time, self.loop.now)
+            if data_seq + length > self.data_acked \
+                    and (data_seq, length) not in self._rtx_queue:
+                self._rtx_queue.insert(0, (data_seq, length))
+                self.stats_retransmitted_bytes += 0  # counted on send
+
+    def _maybe_opportunistic_rtx(self) -> None:
+        """Opportunistic retransmission + penalization (Sec. 8).
+
+        If the connection-level in-order point is stuck on data that is
+        outstanding on one subflow while a *faster* subflow has window
+        space, re-send the blocking bytes there and halve the blocker's
+        cwnd.
+        """
+        if not self.config.opportunistic_retransmit:
+            return
+        now = self.loop.now
+        blocking: Optional[Tuple[_Subflow, int, int, float]] = None
+        for flow in self.subflows.values():
+            for seq, (data_seq, length, sent_time, _r) in \
+                    flow.outstanding.items():
+                if data_seq <= self.data_acked < data_seq + length:
+                    blocking = (flow, data_seq, length, sent_time)
+                    break
+            if blocking:
+                break
+        if blocking is None:
+            return
+        blocker, data_seq, length, sent_time = blocking
+        # The in-order point always sits on *some* in-flight segment;
+        # only act when that segment is overdue -- i.e. it has been in
+        # flight well past the subflow's expected delivery time.  The
+        # trigger is deliberately conservative: Linux only performs
+        # opportunistic retransmission when the connection is
+        # receive-window limited (Raiciu et al., NSDI'12), which in
+        # practice means the blocking segment has been stalling the
+        # stream for a long time, not merely an RTT or two.
+        overdue_after = max(4 * blocker.srtt, 0.5)
+        if now - sent_time < overdue_after:
+            return
+        others = [f for f in self.subflows.values()
+                  if f is not blocker and f.cc.can_send(MSS)]
+        if not others:
+            return
+        if (data_seq, length) not in self._rtx_queue:
+            self._rtx_queue.insert(0, (data_seq, length))
+        if self.config.penalization and \
+                now - blocker.last_penalized > PENALIZATION_INTERVAL:
+            blocker.cc.cwnd = max(blocker.cc.cwnd / 2, MSS * 2)
+            blocker.cc.ssthresh = blocker.cc.cwnd
+            blocker.last_penalized = now
+
+    # -- client (receiver) ------------------------------------------------------
+
+    def _on_data(self, segment: DataSegment, subflow_id: int) -> None:
+        self._received.add((segment.data_seq, segment.payload_len))
+        self._advance_in_order()
+        # Echo-ack the arriving segment's subflow sequence number.
+        self._recv_subflow_acks[subflow_id] = segment.subflow_seq + 1
+        ack = AckSegment(subflow_ack=segment.subflow_seq + 1,
+                         data_ack=self._in_order_point)
+        # MPTCP returns the ACK on the same subflow (Sec. 5.3).
+        self.transmit(subflow_id, ack.encode())
+        if (self._expected_total is not None
+                and self._in_order_point >= self._expected_total
+                and self.completed_at is None):
+            self.completed_at = self.loop.now
+            if self.on_complete is not None:
+                self.on_complete()
+
+    def _advance_in_order(self) -> None:
+        moved = True
+        while moved:
+            moved = False
+            for start, length in self._received:
+                if start <= self._in_order_point < start + length:
+                    self._in_order_point = start + length
+                    moved = True
+
+    @property
+    def bytes_in_order(self) -> int:
+        """Connection-level contiguous prefix (what the app can read)."""
+        return self._in_order_point

@@ -1,0 +1,77 @@
+"""MPTCP wire segments.
+
+A compact binary encoding of the fields the model needs: subflow
+sequence numbers for per-subflow loss detection, plus the data
+sequence mapping (DSS) that places the payload in the connection-level
+byte stream.  ACK segments carry both the subflow-level cumulative
+ack and the connection-level data ack.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+_DATA_HDR = struct.Struct("!BIQI")   # kind, subflow_seq, data_seq, length
+_ACK_HDR = struct.Struct("!BIQ")     # kind, subflow_ack, data_ack
+
+KIND_DATA = 1
+KIND_ACK = 2
+KIND_REQUEST = 3
+
+MSS = 1400
+
+
+@dataclass(frozen=True)
+class DataSegment:
+    """Payload-carrying segment with its data-sequence mapping."""
+
+    subflow_seq: int
+    data_seq: int
+    payload_len: int
+
+    def encode(self) -> bytes:
+        # Payload contents are irrelevant to the emulation; only the
+        # length is carried (the wire charges the real size).
+        return _DATA_HDR.pack(KIND_DATA, self.subflow_seq, self.data_seq,
+                              self.payload_len) + b"\x00" * self.payload_len
+
+
+@dataclass(frozen=True)
+class AckSegment:
+    """Cumulative subflow ack + connection-level data ack."""
+
+    subflow_ack: int
+    data_ack: int
+
+    def encode(self) -> bytes:
+        return _ACK_HDR.pack(KIND_ACK, self.subflow_ack, self.data_ack)
+
+
+@dataclass(frozen=True)
+class RequestSegment:
+    """Client request: total bytes wanted."""
+
+    total_bytes: int
+
+    def encode(self) -> bytes:
+        return struct.pack("!BQ", KIND_REQUEST, self.total_bytes)
+
+
+def decode_segment(data: bytes):
+    """Parse any MPTCP segment."""
+    if not data:
+        raise ValueError("empty segment")
+    kind = data[0]
+    if kind == KIND_DATA:
+        _k, sseq, dseq, length = _DATA_HDR.unpack_from(data)
+        return DataSegment(subflow_seq=sseq, data_seq=dseq,
+                           payload_len=length)
+    if kind == KIND_ACK:
+        _k, sack, dack = _ACK_HDR.unpack_from(data)
+        return AckSegment(subflow_ack=sack, data_ack=dack)
+    if kind == KIND_REQUEST:
+        _k, total = struct.unpack_from("!BQ", data)
+        return RequestSegment(total_bytes=total)
+    raise ValueError(f"unknown MPTCP segment kind {kind}")

@@ -1,0 +1,35 @@
+"""Network emulation substrate (Mahimahi / mpshell equivalent).
+
+The paper's controlled evaluation replays packet-delivery traces with
+Mahimahi's ``mpshell``.  This package reimplements that model inside
+the discrete-event engine:
+
+- :class:`Datagram` -- an opaque UDP-like payload with source/dest.
+- :class:`TraceDrivenLink` -- one MTU-sized delivery opportunity per
+  trace timestamp, with a droptail queue (Mahimahi's link model).
+- :class:`ConstantRateLink` -- fluid-rate link for calibration tests.
+- :class:`DelayBox`, :class:`LossBox` -- fixed one-way delay and
+  stochastic/outage loss, composable around a link.
+- :class:`EmulatedPath` -- the full pipeline uplink+downlink with
+  per-direction delay, matching one ``mm-link`` inside ``mm-delay``.
+- :class:`MultipathNetwork` -- N independent paths between a client
+  and a server endpoint (the ``mpshell`` equivalent).
+"""
+
+from repro.netem.packet import Datagram
+from repro.netem.link import ConstantRateLink, TraceDrivenLink, LinkStats
+from repro.netem.pipes import DelayBox, LossBox, OutageSchedule
+from repro.netem.network import Endpoint, EmulatedPath, MultipathNetwork
+
+__all__ = [
+    "Datagram",
+    "ConstantRateLink",
+    "TraceDrivenLink",
+    "LinkStats",
+    "DelayBox",
+    "LossBox",
+    "OutageSchedule",
+    "Endpoint",
+    "EmulatedPath",
+    "MultipathNetwork",
+]

@@ -1,0 +1,224 @@
+"""Link models.
+
+:class:`TraceDrivenLink` reproduces Mahimahi's ``mm-link`` semantics:
+a trace is a list of millisecond timestamps; each timestamp grants one
+delivery opportunity of up to ``MTU`` bytes.  Unused opportunity bytes
+within a slot may be used by the next queued packet (packet-granular,
+as in Mahimahi: an opportunity delivers at most one packet; a packet
+larger than MTU would consume multiple opportunities, but we cap
+datagrams at MTU so one opportunity == up to one packet).  The trace
+wraps around when exhausted.  Packets wait in a droptail FIFO queue
+bounded in bytes.
+
+:class:`ConstantRateLink` is a fluid-approximation link used in unit
+tests and calibration: serialization time = size / rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from repro.netem.packet import MTU, Datagram
+from repro.sim.event_loop import EventLoop
+
+DeliverFn = Callable[[Datagram], None]
+
+
+@dataclass
+class LinkStats:
+    """Counters every link keeps; benches read these for cost metrics."""
+
+    packets_in: int = 0
+    packets_out: int = 0
+    packets_dropped: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    bytes_dropped: int = 0
+    busy_until: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "packets_in": self.packets_in,
+            "packets_out": self.packets_out,
+            "packets_dropped": self.packets_dropped,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "bytes_dropped": self.bytes_dropped,
+        }
+
+
+class _QueueMixin:
+    """Shared droptail queue behaviour."""
+
+    queue_limit_bytes: int
+    stats: LinkStats
+    _queue: Deque[Datagram]
+    _queued_bytes: int
+
+    def _enqueue(self, dgram: Datagram) -> bool:
+        """Add to the FIFO; drop (and count) if the queue is full."""
+        self.stats.packets_in += 1
+        self.stats.bytes_in += dgram.wire_size
+        if self._queued_bytes + dgram.wire_size > self.queue_limit_bytes:
+            self.stats.packets_dropped += 1
+            self.stats.bytes_dropped += dgram.wire_size
+            return False
+        self._queue.append(dgram)
+        self._queued_bytes += dgram.wire_size
+        return True
+
+    def _dequeue(self) -> Datagram:
+        dgram = self._queue.popleft()
+        self._queued_bytes -= dgram.wire_size
+        return dgram
+
+    @property
+    def queue_depth_bytes(self) -> int:
+        """Bytes currently waiting in the queue."""
+        return self._queued_bytes
+
+    @property
+    def queue_depth_packets(self) -> int:
+        return len(self._queue)
+
+
+class ConstantRateLink(_QueueMixin):
+    """Fluid link: serialization delay = wire_size / rate."""
+
+    def __init__(self, loop: EventLoop, rate_bps: float, deliver: DeliverFn,
+                 queue_limit_bytes: int = 256 * 1024) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.loop = loop
+        self.rate_bps = float(rate_bps)
+        self.deliver = deliver
+        self.queue_limit_bytes = queue_limit_bytes
+        self.stats = LinkStats()
+        self._queue: Deque[Datagram] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+
+    def send(self, dgram: Datagram) -> None:
+        """Accept a datagram for transmission."""
+        if not self._enqueue(dgram):
+            return
+        if not self._busy:
+            self._transmit_next()
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the link rate (applies to subsequent serializations)."""
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bps = float(rate_bps)
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        dgram = self._dequeue()
+        tx_time = dgram.wire_size * 8.0 / self.rate_bps
+        self.stats.busy_until = self.loop.now + tx_time
+
+        def _done() -> None:
+            self.stats.packets_out += 1
+            self.stats.bytes_out += dgram.wire_size
+            self.deliver(dgram)
+            self._transmit_next()
+
+        self.loop.schedule_after(tx_time, _done, label="link-tx")
+
+
+class TraceDrivenLink(_QueueMixin):
+    """Mahimahi-style trace-replaying link.
+
+    ``trace_ms`` is a sorted list of integer millisecond offsets; each
+    entry is one opportunity to deliver one packet of up to MTU bytes.
+    The trace wraps: after the last entry, it repeats shifted by the
+    trace duration.  An empty region in the trace (no timestamps) is a
+    link outage -- exactly how Mahimahi models the zero-throughput
+    window in the paper's Fig. 1a.
+    """
+
+    def __init__(self, loop: EventLoop, trace_ms: List[int],
+                 deliver: DeliverFn,
+                 queue_limit_bytes: int = 256 * 1024,
+                 start_time: float = 0.0) -> None:
+        if not trace_ms:
+            raise ValueError("trace must contain at least one opportunity")
+        if any(b < a for a, b in zip(trace_ms, trace_ms[1:])):
+            raise ValueError("trace timestamps must be non-decreasing")
+        self.loop = loop
+        self.trace_ms = list(trace_ms)
+        # Trace duration for wrap-around: at least the last timestamp + 1ms.
+        self.period_ms = max(self.trace_ms[-1] + 1, 1)
+        self.deliver = deliver
+        self.queue_limit_bytes = queue_limit_bytes
+        self.start_time = start_time
+        self.stats = LinkStats()
+        self._queue: Deque[Datagram] = deque()
+        self._queued_bytes = 0
+        self._opportunity_idx = 0
+        self._wraps = 0
+        self._pump_scheduled = False
+
+    # -- public API ----------------------------------------------------
+
+    def send(self, dgram: Datagram) -> None:
+        """Accept a datagram; it departs at the next delivery opportunity."""
+        if dgram.wire_size > MTU:
+            raise ValueError(
+                f"datagram wire size {dgram.wire_size} exceeds MTU {MTU}"
+            )
+        if not self._enqueue(dgram):
+            return
+        self._schedule_pump()
+
+    def capacity_between(self, t0: float, t1: float) -> int:
+        """Bytes of delivery opportunity in virtual [t0, t1) -- test hook."""
+        count = 0
+        for wrap in range(int(t1 / (self.period_ms / 1000.0)) + 2):
+            base = self.start_time + wrap * self.period_ms / 1000.0
+            for ms in self.trace_ms:
+                t = base + ms / 1000.0
+                if t0 <= t < t1:
+                    count += 1
+        return count * MTU
+
+    # -- internals -----------------------------------------------------
+
+    def _next_opportunity_time(self) -> float:
+        """Virtual time of the next unused delivery opportunity."""
+        ms = self.trace_ms[self._opportunity_idx]
+        return self.start_time + (self._wraps * self.period_ms + ms) / 1000.0
+
+    def _consume_opportunity(self) -> None:
+        self._opportunity_idx += 1
+        if self._opportunity_idx >= len(self.trace_ms):
+            self._opportunity_idx = 0
+            self._wraps += 1
+
+    def _schedule_pump(self) -> None:
+        if self._pump_scheduled or not self._queue:
+            return
+        # Fast-forward past opportunities that are already in the past.
+        while self._next_opportunity_time() < self.loop.now - 1e-12:
+            self._consume_opportunity()
+        self._pump_scheduled = True
+        when = max(self._next_opportunity_time(), self.loop.now)
+        self.loop.schedule_at(when, self._pump, label="trace-link-pump")
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        if not self._queue:
+            return
+        # The opportunity at (or before) now delivers one packet.
+        dgram = self._dequeue()
+        self._consume_opportunity()
+        self.stats.packets_out += 1
+        self.stats.bytes_out += dgram.wire_size
+        self.deliver(dgram)
+        if self._queue:
+            self._schedule_pump()

@@ -1,0 +1,195 @@
+"""Path assembly and the multipath shell.
+
+:class:`EmulatedPath` wires the stages for one bidirectional path:
+
+    client --> [loss] --> [uplink] --> [delay] --> server
+    server --> [loss] --> [downlink] --> [delay] --> client
+
+:class:`MultipathNetwork` hosts N such paths between two
+:class:`Endpoint` objects -- the equivalent of running a client inside
+``mpshell`` with per-path traces, as the paper's Appendix B describes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.netem.link import ConstantRateLink, TraceDrivenLink
+from repro.netem.packet import Datagram
+from repro.netem.pipes import DelayBox, LossBox, OutageSchedule
+from repro.sim.event_loop import EventLoop
+
+LinkFactory = Callable[[EventLoop, Callable[[Datagram], None]],
+                       Union[ConstantRateLink, TraceDrivenLink]]
+
+
+class Endpoint:
+    """A host attached to the network.
+
+    Protocol stacks register a receive callback; ``send`` injects a
+    datagram into a specific path direction.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._receive_cb: Optional[Callable[[Datagram], None]] = None
+        self._send_fn: Optional[Callable[[Datagram], None]] = None
+
+    def on_receive(self, callback: Callable[[Datagram], None]) -> None:
+        self._receive_cb = callback
+
+    def _deliver(self, dgram: Datagram) -> None:
+        if self._receive_cb is not None:
+            self._receive_cb(dgram)
+
+    def send(self, dgram: Datagram) -> None:
+        if self._send_fn is None:
+            raise RuntimeError(f"endpoint {self.name} is not attached")
+        dgram.src = self.name
+        self._send_fn(dgram)
+
+
+class _Direction:
+    """One direction of a path: loss -> link -> delay -> endpoint."""
+
+    def __init__(self, loop: EventLoop, link_factory: LinkFactory,
+                 delay_s: float, loss_rate: float,
+                 outages: Optional[OutageSchedule],
+                 rng: random.Random,
+                 deliver: Callable[[Datagram], None]) -> None:
+        self.delay_box = DelayBox(loop, delay_s, deliver)
+        self.link = link_factory(loop, self.delay_box.send)
+        self.loss_box = LossBox(loop, self.link.send, loss_rate=loss_rate,
+                                outages=outages, rng=rng)
+
+    def send(self, dgram: Datagram) -> None:
+        self.loss_box.send(dgram)
+
+
+class EmulatedPath:
+    """A bidirectional emulated path between client and server."""
+
+    def __init__(self, loop: EventLoop, path_id: int,
+                 up_link_factory: LinkFactory,
+                 down_link_factory: LinkFactory,
+                 one_way_delay_s: float,
+                 deliver_to_client: Callable[[Datagram], None],
+                 deliver_to_server: Callable[[Datagram], None],
+                 loss_rate: float = 0.0,
+                 outages: Optional[OutageSchedule] = None,
+                 rng: Optional[random.Random] = None,
+                 up_delay_s: Optional[float] = None,
+                 down_delay_s: Optional[float] = None) -> None:
+        self.path_id = path_id
+        rng = rng if rng is not None else random.Random(path_id)
+        up_delay = up_delay_s if up_delay_s is not None else one_way_delay_s
+        down_delay = (down_delay_s if down_delay_s is not None
+                      else one_way_delay_s)
+        self.uplink = _Direction(loop, up_link_factory, up_delay,
+                                 loss_rate, outages, rng, deliver_to_server)
+        self.downlink = _Direction(loop, down_link_factory, down_delay,
+                                   loss_rate, outages, rng, deliver_to_client)
+        self.enabled = True
+
+    def send_from_client(self, dgram: Datagram) -> None:
+        if self.enabled:
+            self.uplink.send(dgram)
+
+    def send_from_server(self, dgram: Datagram) -> None:
+        if self.enabled:
+            self.downlink.send(dgram)
+
+    @property
+    def down_bytes_out(self) -> int:
+        """Downlink bytes delivered -- used for traffic-cost accounting."""
+        return self.downlink.link.stats.bytes_out
+
+    @property
+    def down_bytes_in(self) -> int:
+        """Downlink bytes offered (before queue drops)."""
+        return self.downlink.link.stats.bytes_in
+
+
+class MultipathNetwork:
+    """N emulated paths between a client and a server (mpshell)."""
+
+    def __init__(self, loop: EventLoop, client_name: str = "client",
+                 server_name: str = "server") -> None:
+        self.loop = loop
+        self.client = Endpoint(client_name)
+        self.server = Endpoint(server_name)
+        self.paths: Dict[int, EmulatedPath] = {}
+        self.client._send_fn = self._from_client
+        self.server._send_fn = self._from_server
+
+    def add_path(self, path: EmulatedPath) -> None:
+        if path.path_id in self.paths:
+            raise ValueError(f"duplicate path id {path.path_id}")
+        self.paths[path.path_id] = path
+
+    def add_simple_path(self, path_id: int, rate_bps: float,
+                        one_way_delay_s: float, loss_rate: float = 0.0,
+                        queue_limit_bytes: int = 256 * 1024,
+                        outages: Optional[OutageSchedule] = None,
+                        rng: Optional[random.Random] = None) -> EmulatedPath:
+        """Convenience: symmetric constant-rate path."""
+
+        def factory(loop: EventLoop, deliver: Callable[[Datagram], None]):
+            return ConstantRateLink(loop, rate_bps, deliver,
+                                    queue_limit_bytes=queue_limit_bytes)
+
+        path = EmulatedPath(
+            self.loop, path_id, factory, factory, one_way_delay_s,
+            deliver_to_client=self.client._deliver,
+            deliver_to_server=self.server._deliver,
+            loss_rate=loss_rate, outages=outages, rng=rng,
+        )
+        self.add_path(path)
+        return path
+
+    def add_trace_path(self, path_id: int, down_trace_ms: List[int],
+                       one_way_delay_s: float,
+                       up_trace_ms: Optional[List[int]] = None,
+                       loss_rate: float = 0.0,
+                       queue_limit_bytes: int = 256 * 1024,
+                       outages: Optional[OutageSchedule] = None,
+                       rng: Optional[random.Random] = None) -> EmulatedPath:
+        """Convenience: trace-driven path (uplink defaults to downlink trace)."""
+        up_trace = up_trace_ms if up_trace_ms is not None else down_trace_ms
+
+        def down_factory(loop: EventLoop,
+                         deliver: Callable[[Datagram], None]):
+            return TraceDrivenLink(loop, down_trace_ms, deliver,
+                                   queue_limit_bytes=queue_limit_bytes)
+
+        def up_factory(loop: EventLoop, deliver: Callable[[Datagram], None]):
+            return TraceDrivenLink(loop, up_trace, deliver,
+                                   queue_limit_bytes=queue_limit_bytes)
+
+        path = EmulatedPath(
+            self.loop, path_id, up_factory, down_factory, one_way_delay_s,
+            deliver_to_client=self.client._deliver,
+            deliver_to_server=self.server._deliver,
+            loss_rate=loss_rate, outages=outages, rng=rng,
+        )
+        self.add_path(path)
+        return path
+
+    def _from_client(self, dgram: Datagram) -> None:
+        path = self.paths.get(dgram.path_id)
+        if path is None:
+            raise KeyError(f"no path {dgram.path_id}")
+        dgram.dst = self.server.name
+        path.send_from_client(dgram)
+
+    def _from_server(self, dgram: Datagram) -> None:
+        path = self.paths.get(dgram.path_id)
+        if path is None:
+            raise KeyError(f"no path {dgram.path_id}")
+        dgram.dst = self.client.name
+        path.send_from_server(dgram)
+
+    def total_down_bytes(self) -> int:
+        """Total server->client bytes across paths (CDN egress cost)."""
+        return sum(p.down_bytes_out for p in self.paths.values())

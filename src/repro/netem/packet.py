@@ -1,0 +1,50 @@
+"""Datagram container carried by the emulated network.
+
+The emulator moves opaque byte payloads; the QUIC layer serializes
+packets into ``payload`` and parses them back on arrival.  ``wire_size``
+adds UDP/IP overhead so trace-driven links charge realistic bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: UDP + IPv4 header overhead charged per datagram on the wire.
+UDP_IP_OVERHEAD = 28
+
+#: Conventional MTU used throughout (Mahimahi charges 1500-byte slots).
+MTU = 1500
+
+_dgram_ids = itertools.count(1)
+
+
+@dataclass
+class Datagram:
+    """One UDP-like datagram in flight."""
+
+    payload: bytes
+    src: str = ""
+    dst: str = ""
+    path_id: int = 0
+    #: virtual time the sender handed the datagram to the network
+    sent_at: float = 0.0
+    #: unique id for tracing / debugging
+    dgram_id: int = field(default_factory=lambda: next(_dgram_ids))
+    #: optional tag for experiment bookkeeping (e.g. "reinjected")
+    tag: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.payload)
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes charged on the wire (payload + UDP/IP headers)."""
+        return len(self.payload) + UDP_IP_OVERHEAD
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Datagram(id={self.dgram_id}, {self.src}->{self.dst}, "
+                f"path={self.path_id}, {self.size}B)")

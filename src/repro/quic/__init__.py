@@ -1,0 +1,46 @@
+"""Byte-level QUIC transport with the XLINK multipath extension.
+
+The stack implements the parts of IETF QUIC that the paper's
+mechanisms live on -- varints, frames, packets, per-path packet-number
+spaces, streams with flow control, loss detection with PTO, Cubic /
+NewReno / coupled congestion control -- plus the multipath extension of
+draft-liu-multipath-quic-02 as deployed in XLINK: paths identified by
+connection-ID sequence numbers, ``ACK_MP`` (carrying the QoE control
+signal field), ``PATH_STATUS``, ``QOE_CONTROL_SIGNALS``, and the
+multipath AEAD nonce construction.
+
+Crypto is a deterministic toy AEAD (see :mod:`repro.quic.crypto`):
+the multipath *nonce logic* is implemented exactly as Sec. 6
+describes, while the cipher itself is a keyed XOR + MAC, which is all
+the emulation needs.
+"""
+
+from repro.quic.connection import Connection, ConnectionConfig
+from repro.quic.frames import (AckMpFrame, AckRange, CryptoFrame,
+                               MaxDataFrame, MaxStreamDataFrame,
+                               NewConnectionIdFrame, PathChallengeFrame,
+                               PathResponseFrame, PathStatus,
+                               PathStatusFrame, PingFrame,
+                               QoeControlSignalsFrame, QoeSignals,
+                               StreamFrame)
+from repro.quic.transport_params import TransportParameters
+
+__all__ = [
+    "Connection",
+    "ConnectionConfig",
+    "TransportParameters",
+    "AckMpFrame",
+    "AckRange",
+    "CryptoFrame",
+    "MaxDataFrame",
+    "MaxStreamDataFrame",
+    "NewConnectionIdFrame",
+    "PathChallengeFrame",
+    "PathResponseFrame",
+    "PathStatus",
+    "PathStatusFrame",
+    "PingFrame",
+    "QoeControlSignalsFrame",
+    "QoeSignals",
+    "StreamFrame",
+]

@@ -1,0 +1,36 @@
+"""Per-path congestion controllers.
+
+The paper runs "decoupled" Cubic per path (Sec. 7 / Sec. 9); we also
+provide NewReno and a coupled LIA variant for the fairness discussion
+in Sec. 9 and for ablation benches.
+"""
+
+from repro.quic.cc.base import CongestionController, CcEvent
+from repro.quic.cc.newreno import NewRenoCc
+from repro.quic.cc.cubic import CubicCc
+from repro.quic.cc.coupled import LiaCoupledCc, LiaCoordinator
+
+CC_REGISTRY = {
+    "newreno": NewRenoCc,
+    "cubic": CubicCc,
+}
+
+
+def make_cc(name: str, **kwargs) -> CongestionController:
+    """Build a congestion controller by name ('cubic' or 'newreno')."""
+    try:
+        return CC_REGISTRY[name](**kwargs)
+    except KeyError as exc:
+        raise ValueError(f"unknown congestion controller {name!r}") from exc
+
+
+__all__ = [
+    "CongestionController",
+    "CcEvent",
+    "NewRenoCc",
+    "CubicCc",
+    "LiaCoupledCc",
+    "LiaCoordinator",
+    "make_cc",
+    "CC_REGISTRY",
+]

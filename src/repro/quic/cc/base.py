@@ -1,0 +1,97 @@
+"""Congestion controller interface.
+
+Controllers are event-driven: the loss-detection layer reports packet
+sends, acks and losses; the scheduler asks ``can_send`` before placing
+a packet on the path.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+#: Conventional max datagram size used for cwnd arithmetic.
+MAX_DATAGRAM_SIZE = 1400
+
+#: RFC 9002 initial window: min(10 * MDS, max(2 * MDS, 14720)).
+INITIAL_WINDOW = min(10 * MAX_DATAGRAM_SIZE, max(2 * MAX_DATAGRAM_SIZE, 14720))
+
+#: Minimum congestion window after collapse.
+MINIMUM_WINDOW = 2 * MAX_DATAGRAM_SIZE
+
+
+class CcEvent(enum.Enum):
+    """Congestion-control state transitions (for tracing/tests)."""
+
+    SLOW_START = "slow_start"
+    CONGESTION_AVOIDANCE = "congestion_avoidance"
+    RECOVERY = "recovery"
+
+
+class CongestionController(abc.ABC):
+    """Abstract per-path congestion controller."""
+
+    def __init__(self) -> None:
+        self.cwnd: float = float(INITIAL_WINDOW)
+        self.bytes_in_flight: int = 0
+        self.ssthresh: float = float("inf")
+        self.recovery_start_time: float = -1.0
+
+    # -- queries ---------------------------------------------------------
+
+    def can_send(self, size: int = MAX_DATAGRAM_SIZE) -> bool:
+        """True if a packet of ``size`` bytes fits in the window."""
+        return self.bytes_in_flight + size <= self.cwnd
+
+    @property
+    def available_window(self) -> float:
+        return max(self.cwnd - self.bytes_in_flight, 0.0)
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def in_recovery(self, sent_time: float) -> bool:
+        return sent_time <= self.recovery_start_time
+
+    # -- events ----------------------------------------------------------
+
+    def on_packet_sent(self, size: int, now: float) -> None:
+        self.bytes_in_flight += size
+
+    def on_packet_acked(self, size: int, sent_time: float, now: float,
+                        rtt: float) -> None:
+        self.bytes_in_flight = max(self.bytes_in_flight - size, 0)
+        if self.in_recovery(sent_time):
+            return
+        self._increase_window(size, sent_time, now, rtt)
+
+    def on_packets_lost(self, size: int, latest_sent_time: float,
+                        now: float) -> None:
+        self.bytes_in_flight = max(self.bytes_in_flight - size, 0)
+        if not self.in_recovery(latest_sent_time):
+            self.recovery_start_time = now
+            self._on_congestion_event(now)
+
+    def on_discarded(self, size: int) -> None:
+        """Packet no longer tracked (e.g. path abandoned)."""
+        self.bytes_in_flight = max(self.bytes_in_flight - size, 0)
+
+    def reset(self) -> None:
+        """Collapse to the initial state (used by connection migration)."""
+        self.cwnd = float(INITIAL_WINDOW)
+        self.bytes_in_flight = 0
+        self.ssthresh = float("inf")
+        self.recovery_start_time = -1.0
+
+    # -- algorithm hooks ---------------------------------------------------
+
+    @abc.abstractmethod
+    def _increase_window(self, acked_bytes: int, sent_time: float,
+                         now: float, rtt: float) -> None:
+        """Grow cwnd on an ack outside recovery."""
+
+    @abc.abstractmethod
+    def _on_congestion_event(self, now: float) -> None:
+        """Shrink cwnd on entering recovery."""

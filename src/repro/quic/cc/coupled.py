@@ -1,0 +1,71 @@
+"""Coupled multipath congestion control (LIA, RFC 6356).
+
+The paper uses decoupled Cubic in production because Wi-Fi and
+cellular rarely share a bottleneck, but Sec. 9 notes the coupled
+variant is preferred when they do (5G SA edge).  LIA couples the
+*increase* across subflows -- each ack grows the subflow window by
+min(alpha * acked / cwnd_total, acked / cwnd_i) -- while decreases
+stay per-subflow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.quic.cc.base import (CongestionController, MAX_DATAGRAM_SIZE,
+                                MINIMUM_WINDOW)
+
+
+class LiaCoordinator:
+    """Shared state across the subflow controllers of one connection."""
+
+    def __init__(self) -> None:
+        self._controllers: List["LiaCoupledCc"] = []
+
+    def register(self, cc: "LiaCoupledCc") -> None:
+        self._controllers.append(cc)
+
+    @property
+    def total_cwnd(self) -> float:
+        return sum(c.cwnd for c in self._controllers) or 1.0
+
+    def alpha(self) -> float:
+        """LIA aggressiveness factor (RFC 6356 Sec. 3, rate-based form).
+
+        alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / (sum_i cwnd_i/rtt_i)^2
+        """
+        best = 0.0
+        denom = 0.0
+        for c in self._controllers:
+            rtt = max(c.last_rtt, 1e-3)
+            best = max(best, c.cwnd / (rtt * rtt))
+            denom += c.cwnd / rtt
+        if denom <= 0:
+            return 1.0
+        return self.total_cwnd * best / (denom * denom)
+
+
+class LiaCoupledCc(CongestionController):
+    """One subflow of an LIA-coupled connection."""
+
+    def __init__(self, coordinator: LiaCoordinator) -> None:
+        super().__init__()
+        self.coordinator = coordinator
+        self.last_rtt = 0.1
+        coordinator.register(self)
+
+    def _increase_window(self, acked_bytes: int, sent_time: float,
+                         now: float, rtt: float) -> None:
+        self.last_rtt = rtt
+        if self.in_slow_start:
+            self.cwnd += acked_bytes
+            return
+        alpha = self.coordinator.alpha()
+        coupled = alpha * MAX_DATAGRAM_SIZE * acked_bytes \
+            / self.coordinator.total_cwnd
+        uncoupled = MAX_DATAGRAM_SIZE * acked_bytes / self.cwnd
+        self.cwnd += min(coupled, uncoupled)
+
+    def _on_congestion_event(self, now: float) -> None:
+        self.cwnd = max(self.cwnd * 0.5, MINIMUM_WINDOW)
+        self.ssthresh = self.cwnd

@@ -1,0 +1,23 @@
+"""NewReno congestion control (RFC 9002 Sec. 7)."""
+
+from __future__ import annotations
+
+from repro.quic.cc.base import (CongestionController, MAX_DATAGRAM_SIZE,
+                                MINIMUM_WINDOW)
+
+LOSS_REDUCTION_FACTOR = 0.5
+
+
+class NewRenoCc(CongestionController):
+    """Classic AIMD: slow start doubles, CA grows one MDS per cwnd acked."""
+
+    def _increase_window(self, acked_bytes: int, sent_time: float,
+                         now: float, rtt: float) -> None:
+        if self.in_slow_start:
+            self.cwnd += acked_bytes
+        else:
+            self.cwnd += MAX_DATAGRAM_SIZE * acked_bytes / self.cwnd
+
+    def _on_congestion_event(self, now: float) -> None:
+        self.cwnd = max(self.cwnd * LOSS_REDUCTION_FACTOR, MINIMUM_WINDOW)
+        self.ssthresh = self.cwnd

@@ -1,0 +1,427 @@
+"""QUIC frames, including the XLINK multipath extension frames.
+
+Implemented frames:
+
+- core QUIC: PADDING, PING, ACK, CRYPTO, STREAM, MAX_DATA,
+  MAX_STREAM_DATA, NEW_CONNECTION_ID, PATH_CHALLENGE, PATH_RESPONSE,
+  CONNECTION_CLOSE
+- multipath extension (draft-liu-multipath-quic-02 as used by XLINK):
+  ACK_MP (with the deployed XLINK variant carrying a QoE control
+  signal field -- Sec. 4 / Appendix C), PATH_STATUS, and the draft's
+  standalone QOE_CONTROL_SIGNALS frame.
+
+Every frame serializes to bytes and parses back; the connection layer
+only ever exchanges serialized packets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.quic.errors import FrameEncodingError
+from repro.quic.varint import Buffer
+
+
+class FrameType(enum.IntEnum):
+    """Wire type codes.  Extension codes follow the draft's registry."""
+
+    PADDING = 0x00
+    PING = 0x01
+    ACK = 0x02
+    CRYPTO = 0x06
+    MAX_DATA = 0x10
+    MAX_STREAM_DATA = 0x11
+    STREAM = 0x08            # base; 0x08..0x0f with OFF/LEN/FIN bits
+    NEW_CONNECTION_ID = 0x18
+    PATH_CHALLENGE = 0x1A
+    PATH_RESPONSE = 0x1B
+    CONNECTION_CLOSE = 0x1C
+    # Multipath extension frames:
+    ACK_MP = 0xBABA00
+    PATH_STATUS = 0xBABA01
+    QOE_CONTROL_SIGNALS = 0xBABA02
+
+
+class PathStatus(enum.IntEnum):
+    """PATH_STATUS values (Sec. 6): Abandon, Standby, Available."""
+
+    ABANDON = 0
+    STANDBY = 1
+    AVAILABLE = 2
+
+
+@dataclass(frozen=True)
+class AckRange:
+    """Inclusive packet-number range [start, end]."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end or self.start < 0:
+            raise ValueError(f"bad ack range [{self.start}, {self.end}]")
+
+    def __contains__(self, pn: int) -> bool:
+        return self.start <= pn <= self.end
+
+
+@dataclass(frozen=True)
+class QoeSignals:
+    """The four QoE feedback signals the Taobao client reports (Sec. 5.2).
+
+    Units: bytes, frames, bits/s, frames/s.  ``fetch_complete`` is not
+    in the paper's list but the deployed system needs a way to signal
+    "no outstanding request"; we encode it in a flags varint.
+    """
+
+    cached_bytes: int = 0
+    cached_frames: int = 0
+    bps: int = 0
+    fps: int = 0
+
+    def encode(self, buf: Buffer) -> None:
+        buf.push_varint(self.cached_bytes)
+        buf.push_varint(self.cached_frames)
+        buf.push_varint(self.bps)
+        buf.push_varint(self.fps)
+
+    @classmethod
+    def decode(cls, buf: Buffer) -> "QoeSignals":
+        return cls(cached_bytes=buf.pull_varint(),
+                   cached_frames=buf.pull_varint(),
+                   bps=buf.pull_varint(),
+                   fps=buf.pull_varint())
+
+    def play_time_left(self) -> float:
+        """Conservative play-time-left estimate Δt (Alg. 1 step 1).
+
+        Uses the min of the frames/fps and bytes/bps quotients when
+        both are available ("look at both the bit-rate and the
+        frame-rate ... a more conservative estimate").
+        """
+        candidates = []
+        if self.fps > 0:
+            candidates.append(self.cached_frames / self.fps)
+        if self.bps > 0:
+            candidates.append(self.cached_bytes * 8.0 / self.bps)
+        if not candidates:
+            return 0.0
+        return min(candidates)
+
+
+# ---------------------------------------------------------------------------
+# frame dataclasses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PaddingFrame:
+    length: int = 1
+
+
+@dataclass(frozen=True)
+class PingFrame:
+    pass
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Single-space ACK used before multipath negotiation completes."""
+
+    largest_acked: int
+    ack_delay_us: int
+    ranges: Tuple[AckRange, ...]
+
+
+@dataclass(frozen=True)
+class AckMpFrame:
+    """Multipath ACK: per-path ack ranges + XLINK QoE field.
+
+    ``path_id`` is the sequence number of the CID the *acknowledging
+    packets' receiver* used on that path (the draft's path
+    identifier).  ``qoe`` is the XLINK deployment's extra field; it is
+    optional on the wire (flag bit).
+    """
+
+    path_id: int
+    largest_acked: int
+    ack_delay_us: int
+    ranges: Tuple[AckRange, ...]
+    qoe: Optional[QoeSignals] = None
+
+
+@dataclass(frozen=True)
+class CryptoFrame:
+    offset: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class StreamFrame:
+    stream_id: int
+    offset: int
+    data: bytes
+    fin: bool = False
+
+
+@dataclass(frozen=True)
+class MaxDataFrame:
+    maximum: int
+
+
+@dataclass(frozen=True)
+class MaxStreamDataFrame:
+    stream_id: int
+    maximum: int
+
+
+@dataclass(frozen=True)
+class NewConnectionIdFrame:
+    sequence_number: int
+    cid: bytes
+    retire_prior_to: int = 0
+
+
+@dataclass(frozen=True)
+class PathChallengeFrame:
+    data: bytes  # 8 bytes
+
+    def __post_init__(self) -> None:
+        if len(self.data) != 8:
+            raise ValueError("PATH_CHALLENGE data must be 8 bytes")
+
+
+@dataclass(frozen=True)
+class PathResponseFrame:
+    data: bytes  # 8 bytes
+
+    def __post_init__(self) -> None:
+        if len(self.data) != 8:
+            raise ValueError("PATH_RESPONSE data must be 8 bytes")
+
+
+@dataclass(frozen=True)
+class ConnectionCloseFrame:
+    error_code: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class PathStatusFrame:
+    """Informs the peer of a path's status (Abandon/Standby/Available)."""
+
+    path_id: int
+    status: PathStatus
+    status_seq: int = 0
+
+
+@dataclass(frozen=True)
+class QoeControlSignalsFrame:
+    """The draft's standalone QoE frame, decoupled from ACK frequency."""
+
+    qoe: QoeSignals
+
+
+Frame = object  # frames are plain dataclasses; this alias aids readability
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_ack_ranges(buf: Buffer, largest: int,
+                       ranges: Tuple[AckRange, ...]) -> None:
+    """ACK range encoding per RFC 9000: first range + gap/length pairs."""
+    ordered = sorted(ranges, key=lambda r: r.end, reverse=True)
+    if not ordered or ordered[0].end != largest:
+        raise FrameEncodingError("largest_acked must end the first range")
+    buf.push_varint(len(ordered) - 1)
+    buf.push_varint(largest - ordered[0].start)  # first ack range
+    prev_start = ordered[0].start
+    for rng in ordered[1:]:
+        gap = prev_start - rng.end - 2
+        if gap < 0:
+            raise FrameEncodingError("overlapping ack ranges")
+        buf.push_varint(gap)
+        buf.push_varint(rng.end - rng.start)
+        prev_start = rng.start
+
+
+def _decode_ack_ranges(buf: Buffer, largest: int) -> Tuple[AckRange, ...]:
+    count = buf.pull_varint()
+    first_len = buf.pull_varint()
+    ranges = [AckRange(start=largest - first_len, end=largest)]
+    prev_start = largest - first_len
+    for _ in range(count):
+        gap = buf.pull_varint()
+        length = buf.pull_varint()
+        end = prev_start - gap - 2
+        ranges.append(AckRange(start=end - length, end=end))
+        prev_start = end - length
+    return tuple(ranges)
+
+
+def encode_frame(frame: object) -> bytes:
+    """Serialize one frame to bytes."""
+    buf = Buffer()
+    if isinstance(frame, PaddingFrame):
+        return b"\x00" * frame.length
+    if isinstance(frame, PingFrame):
+        buf.push_varint(FrameType.PING)
+    elif isinstance(frame, AckFrame):
+        buf.push_varint(FrameType.ACK)
+        buf.push_varint(frame.largest_acked)
+        buf.push_varint(frame.ack_delay_us)
+        _encode_ack_ranges(buf, frame.largest_acked, frame.ranges)
+    elif isinstance(frame, AckMpFrame):
+        buf.push_varint(FrameType.ACK_MP)
+        buf.push_varint(frame.path_id)
+        flags = 1 if frame.qoe is not None else 0
+        buf.push_varint(flags)
+        buf.push_varint(frame.largest_acked)
+        buf.push_varint(frame.ack_delay_us)
+        _encode_ack_ranges(buf, frame.largest_acked, frame.ranges)
+        if frame.qoe is not None:
+            frame.qoe.encode(buf)
+    elif isinstance(frame, CryptoFrame):
+        buf.push_varint(FrameType.CRYPTO)
+        buf.push_varint(frame.offset)
+        buf.push_varint(len(frame.data))
+        buf.push_bytes(frame.data)
+    elif isinstance(frame, StreamFrame):
+        # Always emit OFF and LEN bits; FIN from the frame.
+        type_byte = FrameType.STREAM | 0x04 | 0x02 | (0x01 if frame.fin else 0)
+        buf.push_varint(type_byte)
+        buf.push_varint(frame.stream_id)
+        buf.push_varint(frame.offset)
+        buf.push_varint(len(frame.data))
+        buf.push_bytes(frame.data)
+    elif isinstance(frame, MaxDataFrame):
+        buf.push_varint(FrameType.MAX_DATA)
+        buf.push_varint(frame.maximum)
+    elif isinstance(frame, MaxStreamDataFrame):
+        buf.push_varint(FrameType.MAX_STREAM_DATA)
+        buf.push_varint(frame.stream_id)
+        buf.push_varint(frame.maximum)
+    elif isinstance(frame, NewConnectionIdFrame):
+        buf.push_varint(FrameType.NEW_CONNECTION_ID)
+        buf.push_varint(frame.sequence_number)
+        buf.push_varint(frame.retire_prior_to)
+        buf.push_uint8(len(frame.cid))
+        buf.push_bytes(frame.cid)
+    elif isinstance(frame, PathChallengeFrame):
+        buf.push_varint(FrameType.PATH_CHALLENGE)
+        buf.push_bytes(frame.data)
+    elif isinstance(frame, PathResponseFrame):
+        buf.push_varint(FrameType.PATH_RESPONSE)
+        buf.push_bytes(frame.data)
+    elif isinstance(frame, ConnectionCloseFrame):
+        buf.push_varint(FrameType.CONNECTION_CLOSE)
+        buf.push_varint(frame.error_code)
+        reason = frame.reason.encode()
+        buf.push_varint(len(reason))
+        buf.push_bytes(reason)
+    elif isinstance(frame, PathStatusFrame):
+        buf.push_varint(FrameType.PATH_STATUS)
+        buf.push_varint(frame.path_id)
+        buf.push_varint(frame.status_seq)
+        buf.push_varint(int(frame.status))
+    elif isinstance(frame, QoeControlSignalsFrame):
+        buf.push_varint(FrameType.QOE_CONTROL_SIGNALS)
+        frame.qoe.encode(buf)
+    else:
+        raise FrameEncodingError(f"cannot encode {type(frame).__name__}")
+    return buf.getvalue()
+
+
+def encode_frames(frames: List[object]) -> bytes:
+    return b"".join(encode_frame(f) for f in frames)
+
+
+def decode_frames(payload: bytes) -> List[object]:
+    """Parse a packet payload into a list of frames."""
+    buf = Buffer(payload)
+    frames: List[object] = []
+    while buf.remaining > 0:
+        frame_type = buf.pull_varint()
+        if frame_type == FrameType.PADDING:
+            continue
+        if frame_type == FrameType.PING:
+            frames.append(PingFrame())
+        elif frame_type == FrameType.ACK:
+            largest = buf.pull_varint()
+            delay = buf.pull_varint()
+            ranges = _decode_ack_ranges(buf, largest)
+            frames.append(AckFrame(largest_acked=largest, ack_delay_us=delay,
+                                   ranges=ranges))
+        elif frame_type == FrameType.ACK_MP:
+            path_id = buf.pull_varint()
+            flags = buf.pull_varint()
+            largest = buf.pull_varint()
+            delay = buf.pull_varint()
+            ranges = _decode_ack_ranges(buf, largest)
+            qoe = QoeSignals.decode(buf) if flags & 1 else None
+            frames.append(AckMpFrame(path_id=path_id, largest_acked=largest,
+                                     ack_delay_us=delay, ranges=ranges,
+                                     qoe=qoe))
+        elif frame_type == FrameType.CRYPTO:
+            offset = buf.pull_varint()
+            length = buf.pull_varint()
+            frames.append(CryptoFrame(offset=offset,
+                                      data=buf.pull_bytes(length)))
+        elif FrameType.STREAM <= frame_type <= FrameType.STREAM | 0x07:
+            fin = bool(frame_type & 0x01)
+            has_len = bool(frame_type & 0x02)
+            has_off = bool(frame_type & 0x04)
+            stream_id = buf.pull_varint()
+            offset = buf.pull_varint() if has_off else 0
+            if has_len:
+                length = buf.pull_varint()
+                data = buf.pull_bytes(length)
+            else:
+                data = buf.pull_bytes(buf.remaining)
+            frames.append(StreamFrame(stream_id=stream_id, offset=offset,
+                                      data=data, fin=fin))
+        elif frame_type == FrameType.MAX_DATA:
+            frames.append(MaxDataFrame(maximum=buf.pull_varint()))
+        elif frame_type == FrameType.MAX_STREAM_DATA:
+            frames.append(MaxStreamDataFrame(stream_id=buf.pull_varint(),
+                                             maximum=buf.pull_varint()))
+        elif frame_type == FrameType.NEW_CONNECTION_ID:
+            seq = buf.pull_varint()
+            retire = buf.pull_varint()
+            cid_len = buf.pull_uint8()
+            frames.append(NewConnectionIdFrame(
+                sequence_number=seq, cid=buf.pull_bytes(cid_len),
+                retire_prior_to=retire))
+        elif frame_type == FrameType.PATH_CHALLENGE:
+            frames.append(PathChallengeFrame(data=buf.pull_bytes(8)))
+        elif frame_type == FrameType.PATH_RESPONSE:
+            frames.append(PathResponseFrame(data=buf.pull_bytes(8)))
+        elif frame_type == FrameType.CONNECTION_CLOSE:
+            code = buf.pull_varint()
+            reason_len = buf.pull_varint()
+            frames.append(ConnectionCloseFrame(
+                error_code=code,
+                reason=buf.pull_bytes(reason_len).decode()))
+        elif frame_type == FrameType.PATH_STATUS:
+            path_id = buf.pull_varint()
+            status_seq = buf.pull_varint()
+            status = PathStatus(buf.pull_varint())
+            frames.append(PathStatusFrame(path_id=path_id, status=status,
+                                          status_seq=status_seq))
+        elif frame_type == FrameType.QOE_CONTROL_SIGNALS:
+            frames.append(QoeControlSignalsFrame(qoe=QoeSignals.decode(buf)))
+        else:
+            raise FrameEncodingError(f"unknown frame type 0x{frame_type:x}")
+    return frames
+
+
+#: Frames that count as "ack-eliciting" (RFC 9002): everything except
+#: ACK, ACK_MP, CONNECTION_CLOSE and PADDING.
+def is_ack_eliciting(frame: object) -> bool:
+    return not isinstance(frame, (AckFrame, AckMpFrame, ConnectionCloseFrame,
+                                  PaddingFrame))

@@ -1,0 +1,160 @@
+"""Per-path loss detection (RFC 9002, simplified).
+
+Each path has its own packet-number space (Sec. 6 design point 1), so
+loss detection runs independently per path: packet-threshold (3) and
+time-threshold (9/8 of the RTT) reordering detection, plus a probe
+timeout (PTO) with exponential backoff.
+
+The connection registers callbacks: ``on_lost`` re-queues stream data;
+``on_pto`` triggers a probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.quic.frames import AckRange
+from repro.quic.rtt import GRANULARITY, RttEstimator
+
+PACKET_THRESHOLD = 3
+TIME_THRESHOLD = 9.0 / 8.0
+MAX_PTO_COUNT = 10
+
+
+@dataclass
+class SentPacket:
+    """Bookkeeping for one sent packet in one path's PN space."""
+
+    packet_number: int
+    sent_time: float
+    size: int
+    ack_eliciting: bool
+    in_flight: bool
+    #: opaque payload descriptors the connection uses on ack/loss
+    frames_info: tuple = ()
+
+
+class PathLossDetector:
+    """Loss detection state for a single path's packet-number space."""
+
+    def __init__(self, rtt: RttEstimator,
+                 max_ack_delay: float = 0.025) -> None:
+        self.rtt = rtt
+        self.max_ack_delay = max_ack_delay
+        self.sent: Dict[int, SentPacket] = {}
+        self.largest_acked: int = -1
+        self.pto_count: int = 0
+        self.loss_time: Optional[float] = None
+        #: stats
+        self.packets_lost_total = 0
+        self.packets_acked_total = 0
+        self.spurious_losses = 0
+        self._declared_lost: set[int] = set()
+
+    # -- send/ack/loss machinery ------------------------------------------
+
+    def on_packet_sent(self, pkt: SentPacket) -> None:
+        if pkt.packet_number in self.sent:
+            raise ValueError(f"duplicate packet number {pkt.packet_number}")
+        self.sent[pkt.packet_number] = pkt
+
+    def on_ack_received(
+        self, ranges: Tuple[AckRange, ...], ack_delay: float, now: float,
+    ) -> Tuple[List[SentPacket], List[SentPacket], Optional[float]]:
+        """Process an ACK_MP for this path.
+
+        Returns (newly_acked, newly_lost, rtt_sample).
+        """
+        newly_acked: List[SentPacket] = []
+        largest_in_ack = max(r.end for r in ranges)
+        for rng in ranges:
+            for pn in range(rng.start, rng.end + 1):
+                pkt = self.sent.pop(pn, None)
+                if pkt is not None:
+                    newly_acked.append(pkt)
+                    self.packets_acked_total += 1
+                elif pn in self._declared_lost:
+                    self._declared_lost.discard(pn)
+                    self.spurious_losses += 1
+        rtt_sample: Optional[float] = None
+        if largest_in_ack > self.largest_acked:
+            self.largest_acked = largest_in_ack
+            # RTT sample from the largest newly acked, if it was just acked.
+            largest_pkt = next((p for p in newly_acked
+                                if p.packet_number == largest_in_ack), None)
+            if largest_pkt is not None and largest_pkt.ack_eliciting:
+                rtt_sample = now - largest_pkt.sent_time
+                if rtt_sample > 0:
+                    self.rtt.update(rtt_sample, ack_delay)
+        if newly_acked:
+            self.pto_count = 0
+        newly_lost = self._detect_losses(now)
+        return newly_acked, newly_lost, rtt_sample
+
+    def _detect_losses(self, now: float) -> List[SentPacket]:
+        """Packet- and time-threshold loss detection."""
+        self.loss_time = None
+        if self.largest_acked < 0:
+            return []
+        loss_delay = TIME_THRESHOLD * max(self.rtt.latest or self.rtt.smoothed,
+                                          self.rtt.smoothed, GRANULARITY)
+        lost: List[SentPacket] = []
+        for pn in sorted(self.sent):
+            if pn > self.largest_acked:
+                continue
+            pkt = self.sent[pn]
+            # The 1e-9 slack matches the timer-fire comparison in the
+            # connection; without it the timer can re-arm at the same
+            # instant forever when it fires exactly at the threshold.
+            too_old = pkt.sent_time - 1e-9 <= now - loss_delay
+            too_far = self.largest_acked - pn >= PACKET_THRESHOLD
+            if too_old or too_far:
+                lost.append(pkt)
+            else:
+                candidate = pkt.sent_time + loss_delay
+                if self.loss_time is None or candidate < self.loss_time:
+                    self.loss_time = candidate
+        for pkt in lost:
+            del self.sent[pkt.packet_number]
+            self._declared_lost.add(pkt.packet_number)
+            self.packets_lost_total += 1
+        return lost
+
+    def on_loss_timer(self, now: float) -> List[SentPacket]:
+        """Fire the time-threshold timer."""
+        return self._detect_losses(now)
+
+    # -- timers -------------------------------------------------------------
+
+    def pto_deadline(self) -> Optional[float]:
+        """Absolute time at which PTO fires, based on oldest in-flight."""
+        eliciting = [p for p in self.sent.values() if p.ack_eliciting]
+        if not eliciting:
+            return None
+        base = min(p.sent_time for p in eliciting)
+        pto = self.rtt.pto(self.max_ack_delay) * (2 ** self.pto_count)
+        return base + pto
+
+    def next_timer(self) -> Optional[float]:
+        """Earlier of loss timer and PTO timer."""
+        candidates = [t for t in (self.loss_time, self.pto_deadline())
+                      if t is not None]
+        return min(candidates) if candidates else None
+
+    def on_pto(self) -> None:
+        self.pto_count = min(self.pto_count + 1, MAX_PTO_COUNT)
+
+    def oldest_unacked(self) -> Optional[SentPacket]:
+        if not self.sent:
+            return None
+        return self.sent[min(self.sent)]
+
+    @property
+    def has_unacked(self) -> bool:
+        """True if ack-eliciting packets are outstanding (Eq. 1's filter)."""
+        return any(p.ack_eliciting for p in self.sent.values())
+
+    @property
+    def bytes_in_flight(self) -> int:
+        return sum(p.size for p in self.sent.values() if p.in_flight)

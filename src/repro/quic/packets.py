@@ -1,0 +1,115 @@
+"""Packet header encode/decode.
+
+XLINK keeps QUIC's packet header formats unchanged so middleboxes see
+ordinary QUIC (Sec. 6, design point 2).  We use two header forms:
+
+- a *long header* for handshake packets (carries both CIDs), and
+- a *short header* for 1-RTT packets: flags byte, DCID, and a 4-byte
+  truncated packet number (we always encode 4 bytes for simplicity --
+  legal in QUIC, which permits 1-4).
+
+The receiver identifies the path from the DCID (whose sequence number
+is the path identifier) and reconstructs the full 62-bit packet number
+from the truncated field and the largest packet number seen on that
+path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.quic.cid import CID_LENGTH
+from repro.quic.errors import ProtocolViolation
+
+PN_TRUNC_BYTES = 4
+PN_TRUNC_MOD = 1 << (8 * PN_TRUNC_BYTES)
+
+
+class PacketType(enum.Enum):
+    HANDSHAKE = "handshake"
+    ONE_RTT = "1rtt"
+
+
+@dataclass(frozen=True)
+class PacketHeader:
+    packet_type: PacketType
+    dcid: bytes
+    scid: Optional[bytes] = None  # long header only
+    truncated_pn: int = 0
+
+    @property
+    def header_size(self) -> int:
+        if self.packet_type is PacketType.HANDSHAKE:
+            return 1 + 1 + len(self.dcid) + 1 + len(self.scid or b"") \
+                + PN_TRUNC_BYTES
+        return 1 + len(self.dcid) + PN_TRUNC_BYTES
+
+
+def encode_header(header: PacketHeader) -> bytes:
+    """Serialize a packet header (also used as AEAD associated data)."""
+    if header.packet_type is PacketType.HANDSHAKE:
+        if header.scid is None:
+            raise ProtocolViolation("long header requires SCID")
+        out = bytearray([0xC0])  # long header form, fixed bit
+        out.append(len(header.dcid))
+        out.extend(header.dcid)
+        out.append(len(header.scid))
+        out.extend(header.scid)
+    else:
+        out = bytearray([0x40])  # short header form, fixed bit
+        out.extend(header.dcid)
+    out.extend((header.truncated_pn % PN_TRUNC_MOD).to_bytes(
+        PN_TRUNC_BYTES, "big"))
+    return bytes(out)
+
+
+def decode_header(data: bytes) -> Tuple[PacketHeader, int]:
+    """Parse a header; returns (header, payload_offset)."""
+    if not data:
+        raise ProtocolViolation("empty packet")
+    first = data[0]
+    if first & 0x80:  # long header
+        pos = 1
+        dcid_len = data[pos]
+        pos += 1
+        dcid = data[pos:pos + dcid_len]
+        pos += dcid_len
+        scid_len = data[pos]
+        pos += 1
+        scid = data[pos:pos + scid_len]
+        pos += scid_len
+        if len(dcid) != dcid_len or len(scid) != scid_len:
+            raise ProtocolViolation("truncated long header")
+        pn = int.from_bytes(data[pos:pos + PN_TRUNC_BYTES], "big")
+        pos += PN_TRUNC_BYTES
+        return PacketHeader(PacketType.HANDSHAKE, dcid=dcid, scid=scid,
+                            truncated_pn=pn), pos
+    # short header: fixed-length DCID
+    pos = 1
+    dcid = data[pos:pos + CID_LENGTH]
+    if len(dcid) != CID_LENGTH:
+        raise ProtocolViolation("truncated short header")
+    pos += CID_LENGTH
+    if pos + PN_TRUNC_BYTES > len(data):
+        raise ProtocolViolation("truncated packet number")
+    pn = int.from_bytes(data[pos:pos + PN_TRUNC_BYTES], "big")
+    pos += PN_TRUNC_BYTES
+    return PacketHeader(PacketType.ONE_RTT, dcid=dcid,
+                        truncated_pn=pn), pos
+
+
+def reconstruct_pn(truncated: int, largest_seen: int) -> int:
+    """Recover the full packet number from its 4-byte truncation.
+
+    Picks the candidate closest to ``largest_seen + 1`` (RFC 9000
+    Appendix A semantics, fixed 32-bit window).
+    """
+    expected = largest_seen + 1
+    candidate = (expected & ~(PN_TRUNC_MOD - 1)) | truncated
+    if candidate + PN_TRUNC_MOD // 2 <= expected:
+        candidate += PN_TRUNC_MOD
+    elif candidate > expected + PN_TRUNC_MOD // 2 and candidate >= PN_TRUNC_MOD:
+        candidate -= PN_TRUNC_MOD
+    return candidate

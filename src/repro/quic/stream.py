@@ -1,0 +1,251 @@
+"""QUIC streams: ordered byte streams with reassembly and priorities.
+
+XLINK's scheduler needs two extra notions beyond vanilla QUIC streams:
+
+- a *stream priority* (earlier video chunks are more urgent -- the
+  stream-priority re-injection of Fig. 4b), and
+- *frame priority ranges* within a stream: the ``stream_send`` API
+  lets the application mark a byte range (position, size) as the first
+  video frame, at the highest priority (Fig. 4c).
+
+The receive side reassembles out-of-order / duplicate data (duplicates
+arise naturally from re-injection) and exposes in-order reads.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.quic.errors import FinalSizeError, StreamStateError
+
+#: Default frame priority for bytes not covered by a marked range.
+DEFAULT_FRAME_PRIORITY = 10
+
+#: Highest priority, used for the first video frame.
+FIRST_FRAME_PRIORITY = 0
+
+
+@dataclass(frozen=True)
+class PriorityRange:
+    """A byte range [start, end) with an application-set priority."""
+
+    start: int
+    end: int
+    priority: int
+
+    def __contains__(self, offset: int) -> bool:
+        return self.start <= offset < self.end
+
+
+class SendStream:
+    """Send half: an append-only buffer with priority annotations."""
+
+    def __init__(self, stream_id: int, priority: int = 0) -> None:
+        self.stream_id = stream_id
+        #: stream priority; lower value = more urgent
+        self.priority = priority
+        self._buffer = bytearray()
+        self.fin_offset: Optional[int] = None
+        self._priority_ranges: List[PriorityRange] = []
+        #: highest offset handed to the packetizer as NEW data
+        self.next_offset = 0
+        #: set when every byte (and fin) has been acked
+        self.acked_ranges: "_RangeSet" = _RangeSet()
+        self.fin_acked = False
+
+    # -- application API --------------------------------------------------
+
+    def write(self, data: bytes, fin: bool = False,
+              frame_priority: Optional[int] = None,
+              position: Optional[int] = None,
+              size: Optional[int] = None) -> None:
+        """Append data; optionally mark a priority range.
+
+        ``frame_priority`` with ``position``/``size`` mirrors XLINK's
+        ``stream_send(data, position, size, priority)``: the byte
+        range [position, position+size) gets ``frame_priority``.
+        When position/size are omitted the range covers this write.
+        """
+        if self.fin_offset is not None:
+            raise StreamStateError(f"stream {self.stream_id} already FINed")
+        start = len(self._buffer)
+        self._buffer.extend(data)
+        if fin:
+            self.fin_offset = len(self._buffer)
+        if frame_priority is not None:
+            p_start = position if position is not None else start
+            p_size = size if size is not None else len(data)
+            self._priority_ranges.append(
+                PriorityRange(p_start, p_start + p_size, frame_priority))
+
+    @property
+    def length(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def bytes_unsent(self) -> int:
+        return len(self._buffer) - self.next_offset
+
+    @property
+    def fully_acked(self) -> bool:
+        if self.fin_offset is None:
+            return False
+        data_acked = self.acked_ranges.covers(0, self.fin_offset)
+        return data_acked and self.fin_acked
+
+    def frame_priority_at(self, offset: int) -> int:
+        """Priority of the byte at ``offset`` (first match wins)."""
+        for rng in self._priority_ranges:
+            if offset in rng:
+                return rng.priority
+        return DEFAULT_FRAME_PRIORITY
+
+    def priority_range_end(self, priority: int) -> Optional[int]:
+        """End offset of the (first) range at ``priority``, if any."""
+        for rng in self._priority_ranges:
+            if rng.priority == priority:
+                return rng.end
+        return None
+
+    def data_for(self, offset: int, length: int) -> bytes:
+        """Bytes [offset, offset+length) for (re)transmission."""
+        if offset + length > len(self._buffer):
+            raise StreamStateError(
+                f"stream {self.stream_id}: range beyond buffer")
+        return bytes(self._buffer[offset:offset + length])
+
+    def is_fin_range(self, offset: int, length: int) -> bool:
+        """True if this range's end coincides with the FIN offset."""
+        return (self.fin_offset is not None
+                and offset + length == self.fin_offset)
+
+    def on_acked(self, offset: int, length: int, fin: bool) -> None:
+        if length:
+            self.acked_ranges.add(offset, offset + length)
+        if fin:
+            self.fin_acked = True
+
+
+class ReceiveStream:
+    """Receive half: out-of-order reassembly, duplicate-tolerant."""
+
+    def __init__(self, stream_id: int) -> None:
+        self.stream_id = stream_id
+        self._segments: Dict[int, bytes] = {}
+        self._received = _RangeSet()
+        self._read_offset = 0
+        self.final_size: Optional[int] = None
+        #: total payload bytes received including duplicates (cost metric)
+        self.bytes_received_raw = 0
+        #: duplicate bytes discarded (already-received ranges)
+        self.duplicate_bytes = 0
+
+    def on_data(self, offset: int, data: bytes, fin: bool) -> None:
+        """Accept a STREAM frame; overlapping data is deduplicated."""
+        end = offset + len(data)
+        if fin:
+            if self.final_size is not None and self.final_size != end:
+                raise FinalSizeError(
+                    f"stream {self.stream_id}: conflicting final size")
+            self.final_size = end
+        if self.final_size is not None and end > self.final_size:
+            raise FinalSizeError(
+                f"stream {self.stream_id}: data beyond final size")
+        self.bytes_received_raw += len(data)
+        if not data:
+            return
+        # Clip already-received prefix/suffix; store novel middle pieces.
+        novel = self._received.missing_within(offset, end)
+        dup = len(data) - sum(e - s for s, e in novel)
+        self.duplicate_bytes += dup
+        for seg_start, seg_end in novel:
+            self._segments[seg_start] = data[seg_start - offset:
+                                             seg_end - offset]
+            self._received.add(seg_start, seg_end)
+
+    def read_available(self) -> bytes:
+        """Return (and consume) all in-order bytes available."""
+        out = bytearray()
+        while self._read_offset in self._segments:
+            seg = self._segments.pop(self._read_offset)
+            out.extend(seg)
+            self._read_offset += len(seg)
+        return bytes(out)
+
+    @property
+    def read_offset(self) -> int:
+        return self._read_offset
+
+    @property
+    def highest_received(self) -> int:
+        return self._received.upper_bound()
+
+    @property
+    def is_complete(self) -> bool:
+        """All bytes up to the final size have been received."""
+        return (self.final_size is not None
+                and self._received.covers(0, self.final_size))
+
+    @property
+    def fully_read(self) -> bool:
+        return (self.final_size is not None
+                and self._read_offset >= self.final_size)
+
+
+class _RangeSet:
+    """Sorted set of disjoint half-open ranges [start, end)."""
+
+    def __init__(self) -> None:
+        self._ranges: List[Tuple[int, int]] = []
+
+    def add(self, start: int, end: int) -> None:
+        if start >= end:
+            return
+        new: List[Tuple[int, int]] = []
+        placed = False
+        for s, e in self._ranges:
+            if e < start or s > end:
+                new.append((s, e))
+            else:
+                start = min(start, s)
+                end = max(end, e)
+        bisect.insort(new, (start, end))
+        self._ranges = new
+        del placed
+
+    def covers(self, start: int, end: int) -> bool:
+        if start >= end:
+            return True
+        for s, e in self._ranges:
+            if s <= start and end <= e:
+                return True
+        return False
+
+    def missing_within(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Sub-ranges of [start, end) not yet present."""
+        missing: List[Tuple[int, int]] = []
+        cursor = start
+        for s, e in self._ranges:
+            if e <= cursor:
+                continue
+            if s >= end:
+                break
+            if s > cursor:
+                missing.append((cursor, min(s, end)))
+            cursor = max(cursor, e)
+            if cursor >= end:
+                break
+        if cursor < end:
+            missing.append((cursor, end))
+        return missing
+
+    def upper_bound(self) -> int:
+        return self._ranges[-1][1] if self._ranges else 0
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def total(self) -> int:
+        return sum(e - s for s, e in self._ranges)

@@ -1,0 +1,54 @@
+"""Transport parameters exchanged during the handshake.
+
+The multipath handshake (Sec. 6, Fig. 9) is plain QUIC plus one extra
+parameter: the client offers ``enable_multipath``; if the server echoes
+it, both ends know multipath is on, otherwise they fall back to
+single-path QUIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.quic.varint import Buffer
+
+
+@dataclass(frozen=True)
+class TransportParameters:
+    """Handshake-advertised limits and capabilities."""
+
+    enable_multipath: bool = False
+    initial_max_data: int = 16 * 1024 * 1024
+    initial_max_stream_data: int = 4 * 1024 * 1024
+    initial_max_streams: int = 128
+    max_ack_delay_us: int = 25_000
+    active_cid_limit: int = 8
+
+    def encode(self) -> bytes:
+        buf = Buffer()
+        buf.push_varint(1 if self.enable_multipath else 0)
+        buf.push_varint(self.initial_max_data)
+        buf.push_varint(self.initial_max_stream_data)
+        buf.push_varint(self.initial_max_streams)
+        buf.push_varint(self.max_ack_delay_us)
+        buf.push_varint(self.active_cid_limit)
+        return buf.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TransportParameters":
+        buf = Buffer(data)
+        return cls(
+            enable_multipath=bool(buf.pull_varint()),
+            initial_max_data=buf.pull_varint(),
+            initial_max_stream_data=buf.pull_varint(),
+            initial_max_streams=buf.pull_varint(),
+            max_ack_delay_us=buf.pull_varint(),
+            active_cid_limit=buf.pull_varint(),
+        )
+
+    @staticmethod
+    def negotiated_multipath(client: "TransportParameters",
+                             server: "TransportParameters") -> bool:
+        """Multipath is on only when both sides advertised it."""
+        return client.enable_multipath and server.enable_multipath

@@ -1,0 +1,105 @@
+"""QUIC variable-length integers (RFC 9000 Sec. 16).
+
+The two high bits of the first byte select a 1/2/4/8-byte encoding,
+giving ranges up to 2^6-1, 2^14-1, 2^30-1 and 2^62-1.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+VARINT_MAX = (1 << 62) - 1
+
+_RANGES = (
+    (1 << 6, 0x00, 1),
+    (1 << 14, 0x40, 2),
+    (1 << 30, 0x80, 4),
+    (1 << 62, 0xC0, 8),
+)
+
+
+def varint_size(value: int) -> int:
+    """Bytes needed to encode ``value``."""
+    if value < 0 or value > VARINT_MAX:
+        raise ValueError(f"varint out of range: {value}")
+    for limit, _prefix, size in _RANGES:
+        if value < limit:
+            return size
+    raise AssertionError("unreachable")
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode ``value`` as a QUIC varint."""
+    if value < 0 or value > VARINT_MAX:
+        raise ValueError(f"varint out of range: {value}")
+    for limit, prefix, size in _RANGES:
+        if value < limit:
+            data = value.to_bytes(size, "big")
+            return bytes([data[0] | prefix]) + data[1:]
+    raise AssertionError("unreachable")
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, new_offset)."""
+    if offset >= len(data):
+        raise ValueError("varint truncated: empty buffer")
+    first = data[offset]
+    size = 1 << (first >> 6)
+    if offset + size > len(data):
+        raise ValueError(
+            f"varint truncated: need {size} bytes at offset {offset}"
+        )
+    value = first & 0x3F
+    for i in range(1, size):
+        value = (value << 8) | data[offset + i]
+    return value, offset + size
+
+
+class Buffer:
+    """Sequential varint/bytes reader-writer used by frame codecs."""
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._chunks: list[bytes] = [data] if data else []
+        self._read_data = data
+        self._pos = 0
+
+    # -- writing --------------------------------------------------------
+
+    def push_varint(self, value: int) -> "Buffer":
+        self._chunks.append(encode_varint(value))
+        return self
+
+    def push_bytes(self, data: bytes) -> "Buffer":
+        self._chunks.append(bytes(data))
+        return self
+
+    def push_uint8(self, value: int) -> "Buffer":
+        self._chunks.append(bytes([value & 0xFF]))
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    # -- reading --------------------------------------------------------
+
+    def pull_varint(self) -> int:
+        value, self._pos = decode_varint(self._read_data, self._pos)
+        return value
+
+    def pull_bytes(self, n: int) -> bytes:
+        if self._pos + n > len(self._read_data):
+            raise ValueError(f"buffer truncated: need {n} bytes")
+        data = self._read_data[self._pos:self._pos + n]
+        self._pos += n
+        return data
+
+    def pull_uint8(self) -> int:
+        return self.pull_bytes(1)[0]
+
+    @property
+    def remaining(self) -> int:
+        return len(self._read_data) - self._pos
+
+    @property
+    def pos(self) -> int:
+        return self._pos

@@ -1,0 +1,31 @@
+"""Virtual clock for the discrete-event engine.
+
+Time is a float in *seconds*.  Only the event loop may advance the
+clock; everything else holds a read-only reference.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic virtual clock, advanced by the event loop only."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def _advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(
+                f"clock cannot go backwards: {t:.9f} < {self._now:.9f}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.6f})"

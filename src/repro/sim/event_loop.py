@@ -1,0 +1,126 @@
+"""Binary-heap event loop.
+
+Events fire in ``(time, sequence)`` order; the sequence number is a
+monotonically increasing insertion counter, so events scheduled for the
+same instant run first-scheduled-first.  Determinism here is what makes
+every benchmark in the repository reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import Clock
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven incorrectly."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Comparison uses (time, seq) only."""
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the loop will skip it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Discrete-event executor over a virtual :class:`Clock`."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def events_run(self) -> int:
+        """Number of events executed so far (for loop-detection tests)."""
+        return self._events_run
+
+    def schedule_at(self, time: float, callback: Callable[[], Any],
+                    label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time:.9f} < {self.clock.now:.9f}"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback,
+                      label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[[], Any],
+                       label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, label=label)
+
+    def call_soon(self, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` at the current instant (after pending ties)."""
+        return self.schedule_at(self.clock.now, callback, label=label)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next live event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock._advance_to(event.time)
+            self._events_run += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 50_000_000) -> float:
+        """Run events until the queue drains or virtual ``until`` is reached.
+
+        Returns the final virtual time.  ``max_events`` is a runaway
+        guard; hitting it raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.clock._advance_to(until)
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; runaway simulation?"
+                    )
+            return self.clock.now
+        finally:
+            self._running = False

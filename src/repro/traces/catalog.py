@@ -1,0 +1,43 @@
+"""Named trace sets used by benchmarks.
+
+``extreme_mobility_trace_pairs`` builds the 10 trace pairs of Fig. 13:
+five subway pairs and five high-speed-rail pairs, each pair being a
+(cellular, onboard-Wi-Fi) capture from the same environment -- the
+paper always replays traces collected in the same environment on the
+two paths (Appendix B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.traces.synthetic import (high_speed_rail_cellular_trace,
+                                    high_speed_rail_wifi_trace,
+                                    subway_cellular_trace,
+                                    subway_wifi_trace)
+
+
+def extreme_mobility_trace_pairs(
+        duration_s: float = 30.0) -> List[Dict[str, object]]:
+    """The 10 (cellular, wifi) trace pairs used by the Fig. 13 bench.
+
+    Returns a list of dicts with keys ``trace_id``, ``environment``,
+    ``cellular_ms``, ``wifi_ms``.
+    """
+    pairs: List[Dict[str, object]] = []
+    for i in range(5):
+        pairs.append({
+            "trace_id": i + 1,
+            "environment": "subway",
+            "cellular_ms": subway_cellular_trace(duration_s, seed=100 + i),
+            "wifi_ms": subway_wifi_trace(duration_s, seed=200 + i),
+        })
+    for i in range(5):
+        pairs.append({
+            "trace_id": i + 6,
+            "environment": "high_speed_rail",
+            "cellular_ms": high_speed_rail_cellular_trace(
+                duration_s, seed=300 + i),
+            "wifi_ms": high_speed_rail_wifi_trace(duration_s, seed=400 + i),
+        })
+    return pairs

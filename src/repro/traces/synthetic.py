@@ -1,0 +1,131 @@
+"""Synthetic trace generators shaped after the paper's captures.
+
+The paper's controlled experiments replay traces from four
+environments: walking on campus (Wi-Fi with a near-total outage around
+t=1.7-2.2s; Fig. 1a), stable LTE (Fig. 1b), subways and high-speed
+rail (deep periodic fades from tunnels/handoffs; Fig. 15).  Each
+generator returns millisecond delivery-opportunity lists compatible
+with :class:`repro.netem.TraceDrivenLink`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.rng import make_rng
+from repro.traces.format import trace_from_rate_series
+
+MBPS = 1e6
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Descriptor for a generated trace (used by the catalog)."""
+
+    name: str
+    duration_s: float
+    mean_mbps: float
+    environment: str
+
+
+def constant_rate_trace(rate_bps: float, duration_s: float) -> List[int]:
+    """Uniform delivery opportunities at a fixed rate."""
+    n_windows = int(round(duration_s / 0.1))
+    return trace_from_rate_series([rate_bps] * n_windows, interval_s=0.1)
+
+
+def _rates_to_trace(rates: List[float], interval_s: float) -> List[int]:
+    return trace_from_rate_series(rates, interval_s=interval_s)
+
+
+def campus_walk_wifi_trace(duration_s: float = 3.0,
+                           seed: int = 1,
+                           peak_mbps: float = 30.0,
+                           outage_start_s: float = 1.7,
+                           outage_end_s: float = 2.2) -> List[int]:
+    """Fast-varying Wi-Fi with a throughput collapse, as in Fig. 1a.
+
+    Rate oscillates between ~20% and 100% of peak on a 100 ms grid and
+    drops to (almost) zero during the outage window.
+    """
+    rng = make_rng(seed, "campus-wifi")
+    interval = 0.1
+    rates: List[float] = []
+    level = 0.8
+    for i in range(int(duration_s / interval)):
+        t = i * interval
+        # Random-walk the level with heavy swings (walking past obstacles).
+        level += rng.uniform(-0.35, 0.35)
+        level = min(1.0, max(0.15, level))
+        rate = level * peak_mbps * MBPS
+        if outage_start_s <= t < outage_end_s:
+            rate = 0.02 * peak_mbps * MBPS  # near-zero residual
+        rates.append(rate)
+    return _rates_to_trace(rates, interval)
+
+
+def stable_lte_trace(duration_s: float = 3.0, seed: int = 2,
+                     mean_mbps: float = 24.0) -> List[int]:
+    """Relatively stable LTE, as in Fig. 1b: small jitter around the mean."""
+    rng = make_rng(seed, "stable-lte")
+    interval = 0.1
+    rates = []
+    for _ in range(int(duration_s / interval)):
+        rates.append(mean_mbps * MBPS * rng.uniform(0.85, 1.15))
+    return _rates_to_trace(rates, interval)
+
+
+def _fading_trace(duration_s: float, seed: int, label: str,
+                  peak_mbps: float, fade_period_s: float,
+                  fade_depth: float, fade_width_s: float,
+                  jitter: float = 0.25,
+                  phase_s: float = 0.0) -> List[int]:
+    """Shared generator for mobility traces with periodic deep fades."""
+    rng = make_rng(seed, label)
+    interval = 0.1
+    rates = []
+    for i in range(int(duration_s / interval)):
+        t = i * interval + phase_s
+        base = peak_mbps * (0.55 + 0.45 * math.sin(2 * math.pi * t / 7.0))
+        base = max(base, 0.15 * peak_mbps)
+        # Periodic deep fades: tunnels / cell handoffs.
+        pos = t % fade_period_s
+        if pos < fade_width_s:
+            base *= (1.0 - fade_depth)
+        rate = base * MBPS * (1.0 + rng.uniform(-jitter, jitter))
+        rates.append(max(rate, 0.0))
+    return _rates_to_trace(rates, interval)
+
+
+def subway_cellular_trace(duration_s: float = 30.0,
+                          seed: int = 10) -> List[int]:
+    """Cellular on a subway: moderate rate, deep fades in tunnel sections."""
+    return _fading_trace(duration_s, seed, "subway-cell", peak_mbps=12.0,
+                         fade_period_s=8.0, fade_depth=0.97,
+                         fade_width_s=2.0)
+
+
+def subway_wifi_trace(duration_s: float = 30.0, seed: int = 11) -> List[int]:
+    """Onboard subway Wi-Fi: bursty, fades offset from the cellular ones."""
+    return _fading_trace(duration_s, seed, "subway-wifi", peak_mbps=8.0,
+                         fade_period_s=11.0, fade_depth=0.95,
+                         fade_width_s=2.5, jitter=0.4, phase_s=4.0)
+
+
+def high_speed_rail_cellular_trace(duration_s: float = 30.0,
+                                   seed: int = 12) -> List[int]:
+    """Cellular on high-speed rail: frequent handoffs (Fig. 15a shape)."""
+    return _fading_trace(duration_s, seed, "hsr-cell", peak_mbps=10.0,
+                         fade_period_s=5.0, fade_depth=0.9,
+                         fade_width_s=1.2, jitter=0.35)
+
+
+def high_speed_rail_wifi_trace(duration_s: float = 30.0,
+                               seed: int = 13) -> List[int]:
+    """Onboard HSR Wi-Fi, backhauled over cellular: low and choppy."""
+    return _fading_trace(duration_s, seed, "hsr-wifi", peak_mbps=6.0,
+                         fade_period_s=6.5, fade_depth=0.92,
+                         fade_width_s=1.5, jitter=0.45, phase_s=2.5)

@@ -1,0 +1,165 @@
+"""Live streaming over (multipath) QUIC -- the paper's future work.
+
+Sec. 10 positions XLINK's QoE-driven approach as extending to live
+streaming.  This module provides the substrate to explore that: a
+:class:`LiveSource` produces encoded frames in (virtual) real time and
+writes them to one long-lived QUIC stream with a length-prefixed
+framing; a :class:`LiveViewer` consumes them on the client, playing at
+a fixed end-to-end latency target, and measures per-frame delivery
+latency and late/dropped frames.
+
+The viewer's buffer state doubles as the QoE signal: its
+``qoe_signals`` reports how much decoded-but-unplayed content is
+cached, so the XLINK scheduler's Alg. 1 gates re-injection for live
+flows exactly as for VoD.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.quic.connection import Connection
+from repro.quic.frames import QoeSignals
+from repro.quic.stream import FIRST_FRAME_PRIORITY
+from repro.sim.event_loop import EventLoop
+from repro.sim.rng import make_rng
+
+_FRAME_HDR = struct.Struct("!IdI")  # frame index, capture time, size
+
+
+@dataclass
+class LiveConfig:
+    """Source/viewer parameters."""
+
+    fps: int = 25
+    bitrate_bps: float = 2_000_000
+    #: key-frame interval (a key frame every N frames, larger size)
+    keyframe_interval: int = 50
+    keyframe_factor: float = 6.0
+    #: viewer plays this far behind capture (the latency target)
+    target_latency_s: float = 0.6
+    #: frames later than target + grace are counted late
+    late_grace_s: float = 0.2
+
+
+@dataclass
+class LiveStats:
+    """Viewer-side results."""
+
+    frames_received: int = 0
+    frames_late: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def late_ratio(self) -> float:
+        if self.frames_received == 0:
+            return 0.0
+        return self.frames_late / self.frames_received
+
+    def latency_percentile(self, pct: float) -> float:
+        from repro.metrics.stats import percentile
+        return percentile(self.latencies, pct)
+
+
+class LiveSource:
+    """Produces frames at the configured fps onto one QUIC stream."""
+
+    def __init__(self, loop: EventLoop, conn: Connection,
+                 config: Optional[LiveConfig] = None,
+                 seed: int = 0) -> None:
+        self.loop = loop
+        self.conn = conn
+        self.config = config if config is not None else LiveConfig()
+        self._rng = make_rng(seed, "live-source")
+        self.stream_id: Optional[int] = None
+        self.frames_sent = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        self.stream_id = self.conn.create_stream(priority=0)
+        self._emit_frame()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self.stream_id is not None:
+            self.conn.stream_send(self.stream_id, b"", fin=True)
+
+    def _frame_size(self, index: int) -> int:
+        cfg = self.config
+        mean = cfg.bitrate_bps / 8.0 / cfg.fps
+        if index % cfg.keyframe_interval == 0:
+            return max(int(mean * cfg.keyframe_factor), 400)
+        return max(int(mean * self._rng.uniform(0.5, 1.3)), 200)
+
+    def _emit_frame(self) -> None:
+        if self._stopped or self.conn.closed:
+            return
+        cfg = self.config
+        index = self.frames_sent
+        size = self._frame_size(index)
+        header = _FRAME_HDR.pack(index, self.loop.now, size)
+        payload = header + b"\x00" * size
+        # Key frames get the high-priority marking, so XLINK's
+        # frame-priority re-injection protects the frames every later
+        # frame depends on.
+        is_key = index % cfg.keyframe_interval == 0
+        stream = self.conn.send_streams[self.stream_id]
+        position = stream.length
+        self.conn.stream_send(
+            self.stream_id, payload,
+            frame_priority=FIRST_FRAME_PRIORITY if is_key else None,
+            position=position if is_key else None,
+            size=len(payload) if is_key else None)
+        self.frames_sent += 1
+        self.loop.schedule_after(1.0 / cfg.fps, self._emit_frame,
+                                 label="live-frame")
+
+
+class LiveViewer:
+    """Client-side consumer measuring per-frame delivery latency."""
+
+    def __init__(self, loop: EventLoop, conn: Connection,
+                 config: Optional[LiveConfig] = None) -> None:
+        self.loop = loop
+        self.conn = conn
+        self.config = config if config is not None else LiveConfig()
+        self.stats = LiveStats()
+        self._buffer = bytearray()
+        self._latest_capture_gap = 0.0
+        conn.on_stream_data = self._on_data
+        conn.qoe_provider = self.qoe_signals
+
+    def _on_data(self, stream_id: int) -> None:
+        self._buffer.extend(self.conn.stream_read(stream_id))
+        self._drain_frames()
+
+    def _drain_frames(self) -> None:
+        cfg = self.config
+        while len(self._buffer) >= _FRAME_HDR.size:
+            index, captured_at, size = _FRAME_HDR.unpack_from(self._buffer)
+            total = _FRAME_HDR.size + size
+            if len(self._buffer) < total:
+                return
+            del self._buffer[:total]
+            latency = self.loop.now - captured_at
+            self.stats.frames_received += 1
+            self.stats.latencies.append(latency)
+            if latency > cfg.target_latency_s + cfg.late_grace_s:
+                self.stats.frames_late += 1
+            self._latest_capture_gap = latency
+
+    def qoe_signals(self) -> QoeSignals:
+        """Live QoE: headroom before the latency target is blown.
+
+        ``cached_frames/fps`` encodes how much slack remains between
+        the newest delivered frame's latency and the target -- the
+        live analogue of the VoD buffer level.
+        """
+        cfg = self.config
+        slack = max(cfg.target_latency_s - self._latest_capture_gap, 0.0)
+        return QoeSignals(
+            cached_bytes=int(slack * cfg.bitrate_bps / 8),
+            cached_frames=int(slack * cfg.fps),
+            bps=int(cfg.bitrate_bps), fps=cfg.fps)

@@ -1,0 +1,136 @@
+"""Tests for the adaptive-bitrate extension."""
+
+import pytest
+
+from repro.core import MinRttScheduler, SinglePathScheduler
+from repro.netem import Datagram, MultipathNetwork
+from repro.quic.connection import Connection, ConnectionConfig
+from repro.sim import EventLoop
+from repro.video import MediaServer
+from repro.video.abr import AbrPlayer, AbrStats, BitrateLadder
+
+
+def abr_session(paths, multipath=True, duration=8.0, timeout=60.0,
+                ladder=None):
+    loop = EventLoop()
+    net = MultipathNetwork(loop)
+    for pid, (rate, delay) in enumerate(paths):
+        net.add_simple_path(pid, rate, delay)
+    client = Connection(loop, ConnectionConfig(is_client=True,
+                                               enable_multipath=multipath),
+                        transmit=lambda pid, d: net.client.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=MinRttScheduler() if multipath
+                        else SinglePathScheduler(),
+                        connection_name="abr")
+    server = Connection(loop, ConnectionConfig(is_client=False,
+                                               enable_multipath=multipath),
+                        transmit=lambda pid, d: net.server.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=MinRttScheduler(),
+                        connection_name="abr")
+    net.client.on_receive(lambda d: client.datagram_received(d.payload,
+                                                             d.path_id))
+    net.server.on_receive(lambda d: server.datagram_received(d.payload,
+                                                             d.path_id))
+    client.add_local_path(0, 0)
+    server.add_local_path(0, 0)
+
+    ladder = ladder or BitrateLadder.make(duration_s=duration, seed=1)
+    MediaServer(server, dict(
+        (v.name, v) for v in ladder.variants.values()))
+    player = AbrPlayer(loop, client, ladder)
+
+    def on_established():
+        if multipath and len(paths) > 1:
+            for pid in range(1, len(paths)):
+                client.open_path(pid, pid)
+        player.start()
+
+    client.on_established = on_established
+    client.connect()
+    while not player.finished and loop.now < timeout:
+        if not loop.step():
+            break
+    return player, loop
+
+
+class TestBitrateLadder:
+    def test_variants_cover_all_rungs(self):
+        ladder = BitrateLadder.make(duration_s=5.0)
+        assert len(ladder.variants) == 4
+        for rate, video in ladder.variants.items():
+            assert video.mean_bps == pytest.approx(rate, rel=0.25)
+
+    def test_variants_sorted(self):
+        ladder = BitrateLadder.make(
+            bitrates_bps=[2e6, 5e5, 1e6], duration_s=5.0)
+        assert ladder.bitrates_bps == sorted(ladder.bitrates_bps)
+
+
+class TestBbaSelection:
+    def _player(self):
+        loop = EventLoop()
+        conn = type("C", (), {"on_stream_data": None,
+                              "qoe_provider": None})()
+        ladder = BitrateLadder.make(duration_s=5.0)
+        return AbrPlayer(loop, conn, ladder, reservoir_s=1.0,
+                         cushion_s=4.0)
+
+    def test_low_buffer_picks_lowest(self):
+        player = self._player()
+        player._buffered_s = 0.5
+        assert player.select_bitrate() == player.ladder.bitrates_bps[0]
+
+    def test_high_buffer_picks_highest(self):
+        player = self._player()
+        player._buffered_s = 5.0
+        assert player.select_bitrate() == player.ladder.bitrates_bps[-1]
+
+    def test_selection_monotone_in_buffer(self):
+        player = self._player()
+        picks = []
+        for buffered in (0.0, 1.5, 2.5, 3.5, 4.5):
+            player._buffered_s = buffered
+            picks.append(player.select_bitrate())
+        assert picks == sorted(picks)
+
+
+class TestAbrSessions:
+    def test_fast_network_reaches_top_rung(self):
+        player, _ = abr_session([(20e6, 0.01)], multipath=False)
+        assert player.finished
+        assert player.stats.selected_bitrates[-1] == \
+            player.ladder.bitrates_bps[-1]
+        assert player.stats.rebuffer_time < 0.5
+
+    def test_starved_network_stays_low(self):
+        player, _ = abr_session([(0.9e6, 0.02)], multipath=False,
+                                duration=6.0, timeout=90.0)
+        stats = player.stats
+        # The top rung (4 Mbps) is unreachable on a 0.9 Mbps link.
+        top = player.ladder.bitrates_bps[-1]
+        assert stats.selected_bitrates.count(top) <= \
+            len(stats.selected_bitrates) // 2
+
+    def test_multipath_raises_mean_bitrate(self):
+        """Sec. 8's point: ABR on one 2 Mbps path must degrade; the
+        same ABR over two aggregated paths can hold higher rungs."""
+        single, _ = abr_session([(2.2e6, 0.015)], multipath=False,
+                                duration=8.0, timeout=90.0)
+        multi, _ = abr_session([(2.2e6, 0.015), (2.2e6, 0.04)],
+                               multipath=True, duration=8.0,
+                               timeout=90.0)
+        assert multi.stats.mean_bitrate > single.stats.mean_bitrate
+
+    def test_stats_accounting(self):
+        player, _ = abr_session([(20e6, 0.01)], multipath=False)
+        stats = player.stats
+        assert stats.play_time > 0
+        assert stats.mean_bitrate > 0
+        assert stats.rebuffer_rate >= 0
+        assert len(stats.selected_bitrates) == player._n_segments
+
+    def test_empty_stats(self):
+        assert AbrStats().mean_bitrate == 0.0
+        assert AbrStats().rebuffer_rate == 0.0

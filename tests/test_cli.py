@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_play_defaults(self):
+        args = build_parser().parse_args(["play"])
+        assert args.scheme == "xlink"
+        assert args.wifi_mbps == 10.0
+
+    def test_race_schemes_list(self):
+        args = build_parser().parse_args(
+            ["race", "--schemes", "sp", "xlink"])
+        assert args.schemes == ["sp", "xlink"]
+
+
+class TestCommands:
+    def test_schemes_lists_all(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sp", "cm", "vanilla_mp", "xlink", "mptcp"):
+            assert name in out
+
+    def test_play_runs_session(self, capsys):
+        code = main(["play", "--scheme", "sp", "--duration", "3",
+                     "--timeout", "30", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed=True" in out
+        assert "first_frame_latency_ms=" in out
+        assert "rebuffer_s=" in out
+
+    def test_play_unknown_scheme(self, capsys):
+        assert main(["play", "--scheme", "warpdrive"]) == 2
+
+    def test_play_mptcp_rejected(self):
+        assert main(["play", "--scheme", "mptcp"]) == 2
+
+    def test_play_with_outage(self, capsys):
+        code = main(["play", "--scheme", "xlink", "--duration", "4",
+                     "--wifi-outage", "1.0", "2.0", "--timeout", "40"])
+        assert code == 0
+        assert "completed=True" in capsys.readouterr().out
+
+    def test_race(self, capsys):
+        code = main(["race", "--schemes", "sp", "mptcp",
+                     "--bytes", "300000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sp" in out and "mptcp" in out
+
+    def test_race_unknown_scheme(self):
+        assert main(["race", "--schemes", "bogus"]) == 2
+
+    def test_ab_day(self, capsys):
+        code = main(["ab", "--treatment", "xlink", "--users", "2",
+                     "--seed", "9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sp" in out and "xlink" in out
+        assert "rct_p50=" in out
+
+    def test_mobility(self, capsys):
+        code = main(["mobility", "--trace", "1", "--duration", "12",
+                     "--schemes", "sp", "xlink"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "median=" in out and "max=" in out
+
+    def test_mobility_bad_trace_id(self):
+        assert main(["mobility", "--trace", "99"]) == 2

@@ -1,0 +1,186 @@
+"""Tests for the toy AEAD, multipath nonce, and packet headers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quic.crypto import (IV_LENGTH, PacketProtection, TAG_LENGTH,
+                               build_nonce, derive_connection_key)
+from repro.quic.errors import ProtocolViolation
+from repro.quic.packets import (PN_TRUNC_MOD, PacketHeader, PacketType,
+                                decode_header, encode_header,
+                                reconstruct_pn)
+
+
+class TestNonce:
+    def test_nonce_layout_matches_spec(self):
+        """Sec. 6: 32-bit CID seq, two zero bits, 62-bit PN, XOR IV."""
+        iv = b"\x00" * IV_LENGTH
+        nonce = build_nonce(iv, cid_sequence_number=1, packet_number=2)
+        # With a zero IV the nonce IS the path-and-packet-number.
+        value = int.from_bytes(nonce, "big")
+        assert value >> 64 == 1          # CID sequence number in top 32 bits
+        assert value & ((1 << 62) - 1) == 2
+        assert (value >> 62) & 0x3 == 0  # the two zero bits
+
+    def test_same_pn_different_path_distinct_nonce(self):
+        """The property the construction exists for."""
+        iv = bytes(range(IV_LENGTH))
+        n0 = build_nonce(iv, cid_sequence_number=0, packet_number=7)
+        n1 = build_nonce(iv, cid_sequence_number=1, packet_number=7)
+        assert n0 != n1
+
+    def test_nonce_xors_iv(self):
+        iv = bytes([0xFF] * IV_LENGTH)
+        nonce = build_nonce(iv, 0, 0)
+        assert nonce == iv  # zero path-and-packet-number XOR IV = IV
+
+    def test_long_iv_left_pads(self):
+        iv = bytes(16)
+        nonce = build_nonce(iv, 3, 4)
+        assert len(nonce) == 16
+        assert nonce[:4] == b"\x00" * 4
+
+    def test_rejects_out_of_range(self):
+        iv = bytes(IV_LENGTH)
+        with pytest.raises(ValueError):
+            build_nonce(iv, 1 << 32, 0)
+        with pytest.raises(ValueError):
+            build_nonce(iv, 0, 1 << 62)
+        with pytest.raises(ValueError):
+            build_nonce(b"short", 0, 0)
+
+    @given(st.integers(0, (1 << 32) - 1), st.integers(0, (1 << 62) - 1),
+           st.integers(0, (1 << 32) - 1), st.integers(0, (1 << 62) - 1))
+    @settings(max_examples=200)
+    def test_nonce_injective_property(self, c1, p1, c2, p2):
+        iv = bytes(range(IV_LENGTH))
+        if (c1, p1) != (c2, p2):
+            assert build_nonce(iv, c1, p1) != build_nonce(iv, c2, p2)
+
+
+class TestPacketProtection:
+    def test_seal_open_roundtrip(self):
+        prot = PacketProtection(key=b"secret")
+        sealed = prot.seal(b"payload", b"aad", 0, 1)
+        assert prot.open(sealed, b"aad", 0, 1) == b"payload"
+
+    def test_tag_adds_overhead(self):
+        prot = PacketProtection(key=b"secret")
+        sealed = prot.seal(b"xyz", b"", 0, 0)
+        assert len(sealed) == 3 + TAG_LENGTH
+
+    def test_tamper_detected(self):
+        prot = PacketProtection(key=b"secret")
+        sealed = bytearray(prot.seal(b"payload", b"aad", 0, 1))
+        sealed[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            prot.open(bytes(sealed), b"aad", 0, 1)
+
+    def test_wrong_aad_detected(self):
+        prot = PacketProtection(key=b"secret")
+        sealed = prot.seal(b"payload", b"aad", 0, 1)
+        with pytest.raises(ValueError):
+            prot.open(sealed, b"other", 0, 1)
+
+    def test_wrong_path_fails(self):
+        """A packet sealed for path 0 cannot be opened as path 1."""
+        prot = PacketProtection(key=b"secret")
+        sealed = prot.seal(b"payload", b"aad", 0, 1)
+        with pytest.raises(ValueError):
+            prot.open(sealed, b"aad", 1, 1)
+
+    def test_wrong_key_fails(self):
+        a = PacketProtection(key=b"ka")
+        b = PacketProtection(key=b"kb")
+        sealed = a.seal(b"payload", b"", 0, 0)
+        with pytest.raises(ValueError):
+            b.open(sealed, b"", 0, 0)
+
+    def test_too_short_sealed(self):
+        prot = PacketProtection(key=b"k")
+        with pytest.raises(ValueError):
+            prot.open(b"tiny", b"", 0, 0)
+
+    def test_key_derivation_deterministic(self):
+        assert derive_connection_key(b"s") == derive_connection_key(b"s")
+        assert derive_connection_key(b"s") != derive_connection_key(b"t")
+
+    @given(st.binary(min_size=0, max_size=2000), st.binary(max_size=64),
+           st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, payload, aad, path, pn):
+        prot = PacketProtection(key=b"property-key")
+        assert prot.open(prot.seal(payload, aad, path, pn),
+                         aad, path, pn) == payload
+
+
+class TestPacketHeaders:
+    def test_short_header_roundtrip(self):
+        header = PacketHeader(PacketType.ONE_RTT, dcid=b"\x01" * 8,
+                              truncated_pn=12345)
+        data = encode_header(header)
+        decoded, offset = decode_header(data + b"payload")
+        assert decoded == header
+        assert offset == len(data)
+
+    def test_long_header_roundtrip(self):
+        header = PacketHeader(PacketType.HANDSHAKE, dcid=b"\x01" * 8,
+                              scid=b"\x02" * 8, truncated_pn=7)
+        data = encode_header(header)
+        decoded, offset = decode_header(data)
+        assert decoded == header
+        assert offset == len(data)
+
+    def test_long_header_requires_scid(self):
+        header = PacketHeader(PacketType.HANDSHAKE, dcid=b"\x01" * 8)
+        with pytest.raises(ProtocolViolation):
+            encode_header(header)
+
+    def test_empty_packet_rejected(self):
+        with pytest.raises(ProtocolViolation):
+            decode_header(b"")
+
+    def test_truncated_short_header_rejected(self):
+        with pytest.raises(ProtocolViolation):
+            decode_header(b"\x40\x01\x02")
+
+    def test_pn_truncation_wraps(self):
+        header = PacketHeader(PacketType.ONE_RTT, dcid=b"\x01" * 8,
+                              truncated_pn=PN_TRUNC_MOD + 5)
+        decoded, _ = decode_header(encode_header(header) + b"x")
+        assert decoded.truncated_pn == 5
+
+
+class TestPnReconstruction:
+    def test_sequential(self):
+        assert reconstruct_pn(5, 4) == 5
+
+    def test_gap(self):
+        assert reconstruct_pn(100, 4) == 100
+
+    def test_reorder_behind(self):
+        assert reconstruct_pn(3, 10) == 3
+
+    def test_wraparound_forward(self):
+        largest = PN_TRUNC_MOD - 2
+        assert reconstruct_pn(1, largest) == PN_TRUNC_MOD + 1
+
+    def test_no_packets_seen(self):
+        assert reconstruct_pn(0, -1) == 0
+
+    @given(st.integers(0, (1 << 40)))
+    @settings(max_examples=200)
+    def test_reconstruct_next_property(self, largest):
+        """The successor of the largest seen always reconstructs."""
+        pn = largest + 1
+        assert reconstruct_pn(pn % PN_TRUNC_MOD, largest) == pn
+
+    @given(st.integers(0, 1 << 40), st.integers(-1000, 1000))
+    @settings(max_examples=200)
+    def test_reconstruct_window_property(self, largest, delta):
+        """Any PN within +-1000 of the expected value reconstructs."""
+        pn = largest + 1 + delta
+        if pn < 0:
+            return
+        assert reconstruct_pn(pn % PN_TRUNC_MOD, largest) == pn

@@ -1,0 +1,172 @@
+"""Integration tests for the experiment harness and A/B simulator."""
+
+import pytest
+
+from repro.experiments import (ABTestConfig, PathSpec, SCHEMES,
+                               run_ab_day, run_bulk_download,
+                               run_video_session)
+from repro.experiments.abtest import sample_user_conditions
+from repro.netem import OutageSchedule
+from repro.sim.rng import make_rng
+from repro.traces.radio_profiles import RadioType
+from repro.video import PlayerConfig, make_video
+
+
+def wifi_lte_paths(wifi_rate=10e6, lte_rate=5e6, wifi_outage=None,
+                   lte_outage=None):
+    return [
+        PathSpec(net_path_id=0, radio=RadioType.WIFI,
+                 one_way_delay_s=0.010, rate_bps=wifi_rate,
+                 outages=wifi_outage),
+        PathSpec(net_path_id=1, radio=RadioType.LTE,
+                 one_way_delay_s=0.035, rate_bps=lte_rate,
+                 outages=lte_outage),
+    ]
+
+
+SMALL_VIDEO = make_video(duration_s=4.0, bitrate_bps=1_500_000, seed=9)
+
+
+class TestSchemeTable:
+    def test_all_schemes_defined(self):
+        assert set(SCHEMES) == {"sp", "cm", "vanilla_mp", "reinject",
+                                "xlink", "xlink_nofa", "mptcp"}
+
+    def test_sp_single_path(self):
+        assert not SCHEMES["sp"].multipath
+
+    def test_xlink_has_thresholds(self):
+        assert SCHEMES["xlink"].thresholds is not None
+        assert not SCHEMES["xlink"].thresholds.always_on
+
+    def test_reinject_always_on(self):
+        assert SCHEMES["reinject"].thresholds.always_on
+
+
+class TestVideoSession:
+    def test_path_spec_validation(self):
+        with pytest.raises(ValueError):
+            PathSpec(net_path_id=0, radio=RadioType.WIFI,
+                     one_way_delay_s=0.01)
+        with pytest.raises(ValueError):
+            PathSpec(net_path_id=0, radio=RadioType.WIFI,
+                     one_way_delay_s=0.01, rate_bps=1e6, trace_ms=[1])
+
+    def test_sp_session_completes(self):
+        result = run_video_session("sp", wifi_lte_paths()[:1],
+                                   video=SMALL_VIDEO, seed=1)
+        assert result.completed
+        assert result.metrics.first_frame_latency is not None
+        assert result.metrics.request_completion_times
+        assert result.redundancy_percent == 0.0
+
+    def test_xlink_session_completes(self):
+        result = run_video_session("xlink", wifi_lte_paths(),
+                                   video=SMALL_VIDEO, seed=1)
+        assert result.completed
+        assert len(result.client.paths) == 2
+
+    def test_mptcp_rejected_for_video(self):
+        with pytest.raises(ValueError):
+            run_video_session("mptcp", wifi_lte_paths(), video=SMALL_VIDEO)
+
+    def test_primary_path_is_wifi(self):
+        """Wireless-aware selection: Wi-Fi preferred over LTE."""
+        result = run_video_session("xlink", wifi_lte_paths(),
+                                   video=SMALL_VIDEO, seed=1)
+        assert result.client.net_path_of[0] == 0  # wifi net id
+
+    def test_primary_order_override(self):
+        result = run_video_session(
+            "xlink", wifi_lte_paths(), video=SMALL_VIDEO, seed=1,
+            primary_order=(RadioType.LTE, RadioType.WIFI))
+        assert result.client.net_path_of[0] == 1
+
+    def test_deterministic_given_seed(self):
+        a = run_video_session("xlink", wifi_lte_paths(),
+                              video=SMALL_VIDEO, seed=5)
+        b = run_video_session("xlink", wifi_lte_paths(),
+                              video=SMALL_VIDEO, seed=5)
+        assert a.metrics.request_completion_times == \
+            b.metrics.request_completion_times
+        assert a.duration_s == b.duration_s
+
+    def test_cm_session_migrates_on_outage(self):
+        paths = wifi_lte_paths(
+            wifi_outage=OutageSchedule(windows=[(0.5, 30.0)]))
+        result = run_video_session("cm", paths, video=SMALL_VIDEO,
+                                   timeout_s=25.0, seed=2)
+        # The monitor must have moved the connection off the dead wifi.
+        assert result.completed
+        assert result.duration_s < 25.0
+
+    def test_sp_stalls_through_outage(self):
+        paths = [wifi_lte_paths(
+            wifi_outage=OutageSchedule(windows=[(0.5, 3.0)]))[0]]
+        result = run_video_session("sp", paths, video=SMALL_VIDEO,
+                                   timeout_s=30.0, seed=2)
+        assert result.completed
+        assert result.duration_s > 3.0
+
+
+class TestBulkDownload:
+    def test_quic_bulk(self):
+        result = run_bulk_download("xlink", wifi_lte_paths(), 500_000,
+                                   seed=3)
+        assert result.completed
+        assert result.download_time_s is not None
+        assert result.download_time_s > 0
+
+    def test_mptcp_bulk(self):
+        result = run_bulk_download("mptcp", wifi_lte_paths(), 500_000,
+                                   seed=3)
+        assert result.completed
+        assert result.download_time_s is not None
+
+    def test_sp_bulk_uses_one_path(self):
+        result = run_bulk_download("sp", wifi_lte_paths()[:1], 300_000,
+                                   seed=3)
+        assert result.completed
+
+
+class TestAbPopulation:
+    def test_conditions_sampling_shape(self):
+        cfg = ABTestConfig()
+        rng = make_rng(1, "c")
+        conditions = [sample_user_conditions(cfg, rng) for _ in range(60)]
+        lte_delays = [c.lte.one_way_delay_s for c in conditions]
+        wifi_delays = [c.wifi.one_way_delay_s for c in conditions]
+        assert sorted(lte_delays)[30] > sorted(wifi_delays)[30]
+        assert any(c.wifi.outages for c in conditions)
+        assert any(c.lte.outages for c in conditions)
+
+    def test_sp_gets_only_wifi(self):
+        cfg = ABTestConfig()
+        rng = make_rng(1, "c")
+        cond = sample_user_conditions(cfg, rng)
+        assert len(cond.paths_for("sp")) == 1
+        assert cond.paths_for("sp")[0].radio is RadioType.WIFI
+        assert len(cond.paths_for("xlink")) == 2
+
+    def test_ab_day_runs_all_schemes(self):
+        cfg = ABTestConfig(users_per_day=2, video_duration_s=3.0,
+                           timeout_s=30.0, seed=11)
+        results = run_ab_day(cfg, 1, ["sp", "xlink"])
+        assert set(results) == {"sp", "xlink"}
+        for day in results.values():
+            assert len(day.sessions) == 2
+            assert day.rcts
+
+    def test_ab_day_deterministic(self):
+        cfg = ABTestConfig(users_per_day=2, video_duration_s=3.0,
+                           timeout_s=30.0, seed=11)
+        a = run_ab_day(cfg, 1, ["sp"])["sp"]
+        b = run_ab_day(cfg, 1, ["sp"])["sp"]
+        assert a.rcts == b.rcts
+
+    def test_different_days_differ(self):
+        cfg = ABTestConfig(users_per_day=2, video_duration_s=3.0,
+                           timeout_s=30.0, seed=11)
+        a = run_ab_day(cfg, 1, ["sp"])["sp"]
+        b = run_ab_day(cfg, 2, ["sp"])["sp"]
+        assert a.rcts != b.rcts

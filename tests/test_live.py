@@ -1,0 +1,105 @@
+"""Tests for the live-streaming extension."""
+
+import pytest
+
+from repro.core import (MinRttScheduler, ReinjectionMode, ThresholdConfig,
+                        XlinkScheduler)
+from repro.netem import Datagram, MultipathNetwork, OutageSchedule
+from repro.quic.connection import Connection, ConnectionConfig
+from repro.sim import EventLoop
+from repro.video.live import LiveConfig, LiveSource, LiveStats, LiveViewer
+
+
+def live_session(duration_s=4.0, server_scheduler=None, outage=None,
+                 config=None, rate1=8e6, rate2=6e6):
+    loop = EventLoop()
+    net = MultipathNetwork(loop)
+    net.add_simple_path(0, rate1, 0.015, outages=outage)
+    net.add_simple_path(1, rate2, 0.045)
+    # Live flows downstream from "server" (the broadcaster's edge).
+    server = Connection(loop, ConnectionConfig(is_client=False),
+                        transmit=lambda pid, d: net.server.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=server_scheduler or MinRttScheduler(),
+                        connection_name="live")
+    client = Connection(loop, ConnectionConfig(is_client=True),
+                        transmit=lambda pid, d: net.client.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=MinRttScheduler(),
+                        connection_name="live")
+    net.client.on_receive(lambda d: client.datagram_received(d.payload,
+                                                             d.path_id))
+    net.server.on_receive(lambda d: server.datagram_received(d.payload,
+                                                             d.path_id))
+    client.add_local_path(0, 0)
+    server.add_local_path(0, 0)
+
+    config = config or LiveConfig()
+    source = LiveSource(loop, server, config=config)
+    viewer = LiveViewer(loop, client, config=config)
+
+    def on_established():
+        client.open_path(1, 1)
+        source.start()
+
+    client.on_established = on_established
+    client.connect()
+    loop.run(until=duration_s)
+    source.stop()
+    loop.run(until=duration_s + 2.0)
+    return source, viewer, server
+
+
+class TestLiveStreaming:
+    def test_frames_flow_end_to_end(self):
+        source, viewer, _s = live_session()
+        assert source.frames_sent > 50
+        assert viewer.stats.frames_received >= source.frames_sent - 5
+
+    def test_latency_reasonable_on_healthy_network(self):
+        _source, viewer, _s = live_session()
+        assert viewer.stats.latency_percentile(50) < 0.3
+        assert viewer.stats.late_ratio < 0.05
+
+    def test_frame_indices_monotonic_latency_positive(self):
+        _source, viewer, _s = live_session()
+        assert all(lat > 0 for lat in viewer.stats.latencies)
+
+    def test_outage_makes_frames_late_on_vanilla(self):
+        outage = OutageSchedule(windows=[(1.0, 2.5)])
+        _source, viewer, _s = live_session(outage=outage)
+        assert viewer.stats.frames_late > 0
+
+    def test_xlink_reduces_late_frames_under_outage(self):
+        outage = OutageSchedule(windows=[(1.0, 2.5)])
+        _s1, vanilla_viewer, _ = live_session(outage=outage)
+        sched = XlinkScheduler(mode=ReinjectionMode.FRAME_PRIORITY,
+                               thresholds=ThresholdConfig(0.3, 1.0))
+        _s2, xlink_viewer, server = live_session(
+            outage=outage, server_scheduler=sched)
+        assert server.stats.stream_bytes_reinjected > 0
+        assert xlink_viewer.stats.frames_late <= \
+            vanilla_viewer.stats.frames_late
+
+    def test_qoe_signal_reflects_latency_slack(self):
+        _source, viewer, _s = live_session()
+        qoe = viewer.qoe_signals()
+        assert qoe.fps == viewer.config.fps
+        # Healthy stream: slack close to the full target.
+        assert qoe.cached_frames > 0
+
+    def test_keyframes_are_larger(self):
+        config = LiveConfig(keyframe_interval=10, keyframe_factor=6.0)
+        loop = EventLoop()
+        conn_stub = type("C", (), {})()
+        source = LiveSource.__new__(LiveSource)
+        source.config = config
+        from repro.sim.rng import make_rng
+        source._rng = make_rng(0, "live-source")
+        key = source._frame_size(0)
+        deltas = [source._frame_size(i) for i in range(1, 10)]
+        assert key > 3 * max(deltas)
+
+    def test_stats_empty(self):
+        stats = LiveStats()
+        assert stats.late_ratio == 0.0

@@ -1,0 +1,276 @@
+"""Tests for the network emulation layer."""
+
+import random
+
+import pytest
+
+from repro.netem import (ConstantRateLink, Datagram, DelayBox, EmulatedPath,
+                         LossBox, MultipathNetwork, OutageSchedule,
+                         TraceDrivenLink)
+from repro.netem.packet import MTU, UDP_IP_OVERHEAD
+from repro.sim import EventLoop
+
+
+def make_sink():
+    got = []
+    return got, lambda d: got.append(d)
+
+
+class TestDatagram:
+    def test_wire_size_includes_headers(self):
+        d = Datagram(payload=b"x" * 100)
+        assert d.size == 100
+        assert d.wire_size == 100 + UDP_IP_OVERHEAD
+
+    def test_unique_ids(self):
+        a, b = Datagram(payload=b"a"), Datagram(payload=b"b")
+        assert a.dgram_id != b.dgram_id
+
+
+class TestConstantRateLink:
+    def test_serialization_delay(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        link = ConstantRateLink(loop, rate_bps=8000, deliver=sink)
+        link.send(Datagram(payload=b"x" * (1000 - UDP_IP_OVERHEAD)))
+        loop.run()
+        # 1000 bytes at 8000 bps = 1 second.
+        assert loop.now == pytest.approx(1.0)
+        assert len(got) == 1
+
+    def test_fifo_order(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        link = ConstantRateLink(loop, rate_bps=1e6, deliver=sink)
+        for i in range(5):
+            link.send(Datagram(payload=bytes([i]) * 10))
+        loop.run()
+        assert [d.payload[0] for d in got] == [0, 1, 2, 3, 4]
+
+    def test_droptail_when_full(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        link = ConstantRateLink(loop, rate_bps=1e4, deliver=sink,
+                                queue_limit_bytes=2000)
+        for _ in range(10):
+            link.send(Datagram(payload=b"x" * 500))
+        loop.run()
+        assert link.stats.packets_dropped > 0
+        assert link.stats.packets_out + link.stats.packets_dropped == 10
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ConstantRateLink(EventLoop(), rate_bps=0, deliver=lambda d: None)
+
+    def test_rate_change_applies(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        link = ConstantRateLink(loop, rate_bps=8000, deliver=sink)
+        link.set_rate(16000)
+        link.send(Datagram(payload=b"x" * (1000 - UDP_IP_OVERHEAD)))
+        loop.run()
+        assert loop.now == pytest.approx(0.5)
+
+
+class TestTraceDrivenLink:
+    def test_one_packet_per_opportunity(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        link = TraceDrivenLink(loop, trace_ms=[10, 20, 30], deliver=sink)
+        for _ in range(3):
+            link.send(Datagram(payload=b"x" * 100))
+        loop.run(until=0.05)
+        assert [round(d_t, 3) for d_t in
+                [0.010, 0.020, 0.030]] == [0.010, 0.020, 0.030]
+        assert len(got) == 3
+
+    def test_delivery_times_match_trace(self):
+        loop = EventLoop()
+        times = []
+        link = TraceDrivenLink(loop, trace_ms=[5, 15, 40],
+                               deliver=lambda d: times.append(loop.now))
+        for _ in range(3):
+            link.send(Datagram(payload=b"x"))
+        loop.run(until=0.1)
+        assert times == pytest.approx([0.005, 0.015, 0.040])
+
+    def test_trace_wraps_around(self):
+        loop = EventLoop()
+        times = []
+        link = TraceDrivenLink(loop, trace_ms=[0, 50], deliver=lambda
+                               d: times.append(loop.now))
+        for _ in range(4):
+            link.send(Datagram(payload=b"x"))
+        loop.run(until=1.0)
+        # period is 51 ms; wraps: 0, 50, 51, 101 ms
+        assert times == pytest.approx([0.0, 0.050, 0.051, 0.101])
+
+    def test_outage_region_stalls_queue(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        # Opportunities only at 0ms and 500ms: a 0.5 s gap.
+        link = TraceDrivenLink(loop, trace_ms=[0, 500], deliver=sink)
+        link.send(Datagram(payload=b"a"))
+        link.send(Datagram(payload=b"b"))
+        loop.run(until=0.4)
+        assert len(got) == 1
+        loop.run(until=0.6)
+        assert len(got) == 2
+
+    def test_rejects_oversized_datagram(self):
+        loop = EventLoop()
+        link = TraceDrivenLink(loop, trace_ms=[0], deliver=lambda d: None)
+        with pytest.raises(ValueError):
+            link.send(Datagram(payload=b"x" * MTU))
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError):
+            TraceDrivenLink(EventLoop(), trace_ms=[], deliver=lambda d: None)
+
+    def test_rejects_unsorted_trace(self):
+        with pytest.raises(ValueError):
+            TraceDrivenLink(EventLoop(), trace_ms=[5, 3],
+                            deliver=lambda d: None)
+
+    def test_late_send_uses_future_opportunity(self):
+        loop = EventLoop()
+        times = []
+        link = TraceDrivenLink(loop, trace_ms=[10, 20, 30, 900],
+                               deliver=lambda d: times.append(loop.now))
+        loop.schedule_at(0.025, lambda: link.send(Datagram(payload=b"x")))
+        loop.run(until=1.0)
+        assert times == pytest.approx([0.030])
+
+
+class TestDelayBox:
+    def test_adds_fixed_delay(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        box = DelayBox(loop, 0.05, sink)
+        box.send(Datagram(payload=b"x"))
+        loop.run()
+        assert loop.now == pytest.approx(0.05)
+
+    def test_preserves_order(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        box = DelayBox(loop, 0.05, sink)
+        box.send(Datagram(payload=b"a"))
+        loop.schedule_at(0.01, lambda: box.send(Datagram(payload=b"b")))
+        loop.run()
+        assert [d.payload for d in got] == [b"a", b"b"]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            DelayBox(EventLoop(), -1.0, lambda d: None)
+
+
+class TestLossBox:
+    def test_no_loss_forwards_everything(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        box = LossBox(loop, sink, loss_rate=0.0)
+        for _ in range(100):
+            box.send(Datagram(payload=b"x"))
+        assert len(got) == 100
+
+    def test_loss_rate_statistics(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        box = LossBox(loop, sink, loss_rate=0.3, rng=random.Random(1))
+        for _ in range(2000):
+            box.send(Datagram(payload=b"x"))
+        assert 0.25 < box.packets_dropped / 2000 < 0.35
+
+    def test_outage_drops_everything_inside_window(self):
+        loop = EventLoop()
+        got, sink = make_sink()
+        box = LossBox(loop, sink,
+                      outages=OutageSchedule(windows=[(1.0, 2.0)]))
+        loop.schedule_at(0.5, lambda: box.send(Datagram(payload=b"a")))
+        loop.schedule_at(1.5, lambda: box.send(Datagram(payload=b"b")))
+        loop.schedule_at(2.5, lambda: box.send(Datagram(payload=b"c")))
+        loop.run()
+        assert [d.payload for d in got] == [b"a", b"c"]
+
+    def test_periodic_outage(self):
+        sched = OutageSchedule(windows=[(0.0, 1.0)], period=10.0)
+        assert sched.in_outage(0.5)
+        assert not sched.in_outage(5.0)
+        assert sched.in_outage(10.5)
+
+    def test_rejects_bad_loss_rate(self):
+        with pytest.raises(ValueError):
+            LossBox(EventLoop(), lambda d: None, loss_rate=1.5)
+
+
+class TestMultipathNetwork:
+    def test_bidirectional_delivery(self):
+        loop = EventLoop()
+        net = MultipathNetwork(loop)
+        net.add_simple_path(0, 1e6, 0.01)
+        at_server, at_client = [], []
+        net.server.on_receive(lambda d: at_server.append(d))
+        net.client.on_receive(lambda d: at_client.append(d))
+        net.client.send(Datagram(payload=b"up", path_id=0))
+        net.server.send(Datagram(payload=b"down", path_id=0))
+        loop.run()
+        assert len(at_server) == 1 and at_server[0].payload == b"up"
+        assert len(at_client) == 1 and at_client[0].payload == b"down"
+
+    def test_paths_are_independent(self):
+        loop = EventLoop()
+        net = MultipathNetwork(loop)
+        net.add_simple_path(0, 1e6, 0.01)
+        net.add_simple_path(1, 1e6, 0.10)
+        arrivals = {}
+        net.server.on_receive(
+            lambda d: arrivals.setdefault(d.path_id, loop.now))
+        net.client.send(Datagram(payload=b"a", path_id=0))
+        net.client.send(Datagram(payload=b"b", path_id=1))
+        loop.run()
+        assert arrivals[0] < arrivals[1]
+
+    def test_unknown_path_raises(self):
+        loop = EventLoop()
+        net = MultipathNetwork(loop)
+        with pytest.raises(KeyError):
+            net.client.send(Datagram(payload=b"x", path_id=9))
+
+    def test_duplicate_path_id_rejected(self):
+        loop = EventLoop()
+        net = MultipathNetwork(loop)
+        net.add_simple_path(0, 1e6, 0.01)
+        with pytest.raises(ValueError):
+            net.add_simple_path(0, 1e6, 0.01)
+
+    def test_trace_path(self):
+        loop = EventLoop()
+        net = MultipathNetwork(loop)
+        net.add_trace_path(0, down_trace_ms=[1, 2, 3], one_way_delay_s=0.01)
+        got = []
+        net.client.on_receive(lambda d: got.append(loop.now))
+        net.server.send(Datagram(payload=b"x" * 100, path_id=0))
+        loop.run(until=0.1)
+        assert got and got[0] == pytest.approx(0.011)
+
+    def test_total_down_bytes_accounting(self):
+        loop = EventLoop()
+        net = MultipathNetwork(loop)
+        net.add_simple_path(0, 1e6, 0.01)
+        net.server.on_receive(lambda d: None)
+        net.client.on_receive(lambda d: None)
+        net.server.send(Datagram(payload=b"x" * 100, path_id=0))
+        loop.run()
+        assert net.total_down_bytes() == 100 + UDP_IP_OVERHEAD
+
+    def test_disabled_path_drops(self):
+        loop = EventLoop()
+        net = MultipathNetwork(loop)
+        path = net.add_simple_path(0, 1e6, 0.01)
+        got, sink = make_sink()
+        net.server.on_receive(sink)
+        path.enabled = False
+        net.client.send(Datagram(payload=b"x", path_id=0))
+        loop.run()
+        assert got == []

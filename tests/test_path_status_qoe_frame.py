@@ -1,0 +1,137 @@
+"""Tests for PATH_STATUS management and standalone QoE feedback."""
+
+import pytest
+
+from repro.core import MinRttScheduler, ThresholdConfig, XlinkScheduler
+from repro.netem import Datagram, MultipathNetwork
+from repro.quic.connection import Connection, ConnectionConfig
+from repro.quic.errors import ProtocolViolation
+from repro.quic.frames import PathStatus, QoeSignals
+from repro.quic.path import PathState
+from repro.sim import EventLoop
+
+
+def pair(server_scheduler=None):
+    loop = EventLoop()
+    net = MultipathNetwork(loop)
+    net.add_simple_path(0, 10e6, 0.01)
+    net.add_simple_path(1, 10e6, 0.03)
+    client = Connection(loop, ConnectionConfig(is_client=True),
+                        transmit=lambda pid, d: net.client.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=MinRttScheduler(),
+                        connection_name="ps")
+    server = Connection(loop, ConnectionConfig(is_client=False),
+                        transmit=lambda pid, d: net.server.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=server_scheduler or MinRttScheduler(),
+                        connection_name="ps")
+    net.client.on_receive(lambda d: client.datagram_received(d.payload,
+                                                             d.path_id))
+    net.server.on_receive(lambda d: server.datagram_received(d.payload,
+                                                             d.path_id))
+    client.add_local_path(0, 0)
+    server.add_local_path(0, 0)
+    client.on_established = lambda: client.open_path(1, 1)
+    client.connect()
+    loop.run(until=0.5)
+    return loop, net, client, server
+
+
+class TestPathStatus:
+    def test_standby_propagates_to_peer(self):
+        loop, net, client, server = pair()
+        client.set_path_status(1, PathStatus.STANDBY)
+        loop.run(until=1.0)
+        assert client.paths[1].status is PathStatus.STANDBY
+        assert server.paths[1].status is PathStatus.STANDBY
+        assert server.paths[1].state is PathState.STANDBY
+
+    def test_standby_path_not_scheduled(self):
+        loop, net, client, server = pair()
+        client.set_path_status(1, PathStatus.STANDBY)
+        loop.run(until=1.0)
+        sent_before = server.paths[1].bytes_sent
+        # Server transfers data; it must all ride path 0.
+        sid = client.create_stream()
+        client.stream_send(sid, b"GET", fin=True)
+
+        def serve(stream_id):
+            stream = server.recv_streams[stream_id]
+            if stream.is_complete and not getattr(server, "_done", False):
+                server._done = True
+                server.stream_read(stream_id)
+                server.stream_send(stream_id, b"X" * 200_000, fin=True)
+
+        server.on_stream_data = serve
+        loop.run(until=5.0)
+        assert server.paths[1].bytes_sent == sent_before
+        assert server.paths[0].bytes_sent > 200_000
+
+    def test_available_restores_path(self):
+        loop, net, client, server = pair()
+        client.set_path_status(1, PathStatus.STANDBY)
+        loop.run(until=1.0)
+        client.set_path_status(1, PathStatus.AVAILABLE)
+        loop.run(until=1.5)
+        assert client.paths[1].state is PathState.ACTIVE
+        assert server.paths[1].status is PathStatus.AVAILABLE
+
+    def test_abandon_via_status(self):
+        loop, net, client, server = pair()
+        client.set_path_status(1, PathStatus.ABANDON)
+        loop.run(until=1.0)
+        assert client.paths[1].state is PathState.ABANDONED
+        assert server.paths[1].state is PathState.ABANDONED
+
+    def test_unknown_path_rejected(self):
+        loop, net, client, server = pair()
+        with pytest.raises(ProtocolViolation):
+            client.set_path_status(9, PathStatus.STANDBY)
+
+
+class TestStandaloneQoeFeedback:
+    def test_requires_provider(self):
+        loop, net, client, server = pair()
+        with pytest.raises(ProtocolViolation):
+            client.start_qoe_feedback()
+
+    def test_rejects_bad_interval(self):
+        loop, net, client, server = pair()
+        client.qoe_provider = lambda: QoeSignals(1, 2, 3, 4)
+        with pytest.raises(ValueError):
+            client.start_qoe_feedback(interval_s=0)
+
+    def test_feedback_arrives_without_data_flow(self):
+        """The draft's point: feedback is decoupled from ACK frequency.
+
+        With no data flowing there are no ACK_MPs, yet the server
+        still receives QoE updates."""
+        loop, net, client, server = pair()
+        client.qoe_provider = lambda: QoeSignals(
+            cached_bytes=777, cached_frames=25, bps=1000, fps=25)
+        client.start_qoe_feedback(interval_s=0.05)
+        loop.run(until=1.0)
+        assert server.last_qoe is not None
+        assert server.last_qoe.cached_bytes == 777
+
+    def test_feedback_drives_scheduler_controller(self):
+        sched = XlinkScheduler(thresholds=ThresholdConfig(0.5, 2.0))
+        loop, net, client, server = pair(server_scheduler=sched)
+        client.qoe_provider = lambda: QoeSignals(
+            cached_bytes=0, cached_frames=0, bps=2_000_000, fps=25)
+        client.start_qoe_feedback(interval_s=0.05)
+        loop.run(until=1.0)
+        assert sched.controller.last_qoe is not None
+        assert sched.controller.play_time_left(loop.now) == 0.0
+
+    def test_feedback_updates_over_time(self):
+        loop, net, client, server = pair()
+        values = iter(range(100, 200))
+        client.qoe_provider = lambda: QoeSignals(
+            cached_bytes=next(values), cached_frames=1, bps=1, fps=1)
+        client.start_qoe_feedback(interval_s=0.05)
+        loop.run(until=0.8)
+        first = server.last_qoe.cached_bytes
+        loop.run(until=1.4)
+        assert server.last_qoe.cached_bytes > first

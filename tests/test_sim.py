@@ -1,0 +1,156 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Clock, EventLoop, SimulationError, make_rng
+from repro.sim.rng import derive_seed
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_cannot_go_backwards(self):
+        clock = Clock(10.0)
+        with pytest.raises(ValueError):
+            clock._advance_to(9.0)
+
+
+class TestEventLoop:
+    def test_runs_events_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(2.0, lambda: order.append("b"))
+        loop.schedule_at(1.0, lambda: order.append("a"))
+        loop.schedule_at(3.0, lambda: order.append("c"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_insertion_order(self):
+        loop = EventLoop()
+        order = []
+        for name in "abcde":
+            loop.schedule_at(1.0, lambda n=name: order.append(n))
+        loop.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(1.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [1.5]
+        assert loop.now == 1.5
+
+    def test_schedule_after_relative(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(1.0, lambda: loop.schedule_after(
+            0.5, lambda: seen.append(loop.now)))
+        loop.run()
+        assert seen == [1.5]
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.schedule_at(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule_after(-1.0, lambda: None)
+
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        seen = []
+        event = loop.schedule_at(1.0, lambda: seen.append("x"))
+        event.cancel()
+        loop.run()
+        assert seen == []
+
+    def test_run_until_stops_clock(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(1.0, lambda: seen.append(1))
+        loop.schedule_at(5.0, lambda: seen.append(5))
+        loop.run(until=2.0)
+        assert seen == [1]
+        assert loop.now == 2.0
+
+    def test_run_until_allows_resume(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(1.0, lambda: seen.append(1))
+        loop.schedule_at(5.0, lambda: seen.append(5))
+        loop.run(until=2.0)
+        loop.run()
+        assert seen == [1, 5]
+
+    def test_events_scheduled_during_run_execute(self):
+        loop = EventLoop()
+        seen = []
+
+        def cascade(depth):
+            seen.append(depth)
+            if depth < 3:
+                loop.schedule_after(1.0, lambda: cascade(depth + 1))
+
+        loop.schedule_at(0.0, lambda: cascade(0))
+        loop.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False
+
+    def test_call_soon_runs_at_current_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(1.0, lambda: loop.call_soon(
+            lambda: seen.append(loop.now)))
+        loop.run()
+        assert seen == [1.0]
+
+    def test_peek_time_skips_cancelled(self):
+        loop = EventLoop()
+        ev = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        ev.cancel()
+        assert loop.peek_time() == 2.0
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule_after(0.001, forever)
+
+        loop.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42)
+        b = make_rng(42)
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_labels_decorrelate(self):
+        a = make_rng(42, "loss")
+        b = make_rng(42, "workload")
+        assert a.random() != b.random()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_rng_from_rng_derives_child(self):
+        parent = make_rng(7)
+        child = make_rng(parent)
+        assert child.random() != parent.random()

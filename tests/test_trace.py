@@ -1,0 +1,138 @@
+"""Tests for the qlog-style connection tracer."""
+
+import pytest
+
+from repro.core import MinRttScheduler, ThresholdConfig, XlinkScheduler
+from repro.netem import Datagram, MultipathNetwork, OutageSchedule
+from repro.quic.connection import Connection, ConnectionConfig
+from repro.quic.trace import ConnectionTracer, TraceEvent
+from repro.sim import EventLoop
+
+
+def traced_session(server_scheduler=None, outage=False):
+    """A small traced transfer; returns (tracer, client, server, loop)."""
+    loop = EventLoop()
+    net = MultipathNetwork(loop)
+    net.add_simple_path(
+        0, 8e6, 0.02,
+        outages=OutageSchedule(windows=[(0.15, 3.0)]) if outage else None)
+    net.add_simple_path(1, 8e6, 0.05)
+    client = Connection(loop, ConnectionConfig(is_client=True),
+                        transmit=lambda pid, d: net.client.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=MinRttScheduler(),
+                        connection_name="traced")
+    server = Connection(loop, ConnectionConfig(is_client=False),
+                        transmit=lambda pid, d: net.server.send(
+                            Datagram(payload=d, path_id=pid)),
+                        scheduler=server_scheduler or MinRttScheduler(),
+                        connection_name="traced")
+    net.client.on_receive(lambda d: client.datagram_received(d.payload,
+                                                             d.path_id))
+    net.server.on_receive(lambda d: server.datagram_received(d.payload,
+                                                             d.path_id))
+    client.add_local_path(0, 0)
+    server.add_local_path(0, 0)
+
+    tracer = ConnectionTracer()
+    tracer.install(server)
+
+    def on_established():
+        client.open_path(1, 1)
+        sid = client.create_stream()
+        client.stream_send(sid, b"GET", fin=True)
+
+    def on_server_data(sid):
+        stream = server.recv_streams[sid]
+        served = getattr(server, "_served", set())
+        if stream.is_complete and sid not in served:
+            served.add(sid)
+            server._served = served
+            server.stream_read(sid)
+            server.stream_send(sid, b"D" * 300_000, fin=True)
+
+    client.on_established = on_established
+    server.on_stream_data = on_server_data
+    client.connect()
+    loop.run(until=20.0)
+    return tracer, client, server, loop
+
+
+class TestTracer:
+    def test_records_sends_and_receives(self):
+        tracer, _c, server, _l = traced_session()
+        assert tracer.count("datagram_sent") > 100
+        assert tracer.count("datagram_received") > 10
+        assert tracer.count("datagram_sent") == server.stats.packets_sent
+
+    def test_events_time_ordered(self):
+        tracer, *_ = traced_session()
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_bytes_by_path_matches_connection(self):
+        tracer, _c, server, _l = traced_session()
+        by_path = tracer.bytes_sent_by_path()
+        for pid, path in server.paths.items():
+            net_id = server.net_path_of[pid]
+            assert by_path.get(net_id, 0) == path.bytes_sent
+
+    def test_records_qoe_feedback(self):
+        tracer, client, server, loop = traced_session()
+        from repro.quic.frames import QoeSignals
+        client.qoe_provider = lambda: QoeSignals(1, 2, 3, 4)
+        sid = client.create_stream()
+        client.stream_send(sid, b"GET2", fin=True)
+        loop.run(until=25.0)
+        feedback = tracer.filter(name="feedback_received")
+        assert feedback
+        assert feedback[-1].data["cached_bytes"] == 1
+
+    def test_records_reinjections_under_outage(self):
+        sched = XlinkScheduler(thresholds=ThresholdConfig(always_on=True))
+        tracer, _c, server, _l = traced_session(server_scheduler=sched,
+                                                outage=True)
+        reinjections = tracer.filter(category="recovery",
+                                     name="reinjection")
+        assert reinjections
+        timeline = tracer.reinjection_timeline()
+        totals = [total for _t, total in timeline]
+        assert totals == sorted(totals)
+        # Every sent duplicate was first enqueued (some enqueued chunks
+        # may be dropped unsent if their range is acked meanwhile).
+        assert totals[-1] >= server.stats.stream_bytes_reinjected
+
+    def test_filter_by_category(self):
+        tracer, *_ = traced_session()
+        packets = tracer.filter(category="packet")
+        assert all(e.category == "packet" for e in packets)
+        assert len(packets) == tracer.count("datagram_sent") + \
+            tracer.count("datagram_received")
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer, *_ = traced_session()
+        path = tmp_path / "trace.jsonl"
+        tracer.save(path)
+        loaded = ConnectionTracer.load_events(path)
+        assert len(loaded) == len(tracer.events)
+        assert loaded[0].name == tracer.events[0].name
+        assert loaded[-1].data == tracer.events[-1].data
+
+    def test_max_events_cap(self):
+        tracer = ConnectionTracer(max_events=5)
+        for i in range(10):
+            tracer.record(float(i), "packet", "datagram_sent", size=1)
+        assert len(tracer.events) == 5
+        assert tracer.dropped == 5
+
+    def test_double_install_rejected(self):
+        tracer, *_ = traced_session()
+        with pytest.raises(RuntimeError):
+            tracer.install(object())
+
+    def test_event_json_stable(self):
+        event = TraceEvent(time=1.5, category="packet", name="x",
+                           data={"b": 2, "a": 1})
+        assert event.to_json() == \
+            '{"category": "packet", "data": {"a": 1, "b": 2}, ' \
+            '"name": "x", "time": 1.5}'
