@@ -1,0 +1,18 @@
+# Convenience targets.  PYTHONPATH=src keeps the in-tree package
+# importable without an editable install.
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test bench bench-pytest
+
+## tier-1 verification: the full unit/integration suite
+test:
+	$(PY) -m pytest -x -q
+
+## run the core perf suite once (rounds=1) and write BENCH_core.json;
+## refuses to overwrite an existing report from a dirty git tree
+bench:
+	$(PY) -m repro bench
+
+## the same measurements under pytest-benchmark (no report written)
+bench-pytest:
+	$(PY) -m pytest benchmarks/test_perf_core.py -q

@@ -1,0 +1,58 @@
+"""Regenerate ``BENCH_core.json`` from the perf microbenchmark suite.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf_report.py [--out BENCH_core.json]
+                                                    [--workers N] [--force]
+
+Every benchmark runs exactly once (the simulations are deterministic,
+so repeated rounds would re-measure the same run).  Overwriting an
+existing report from a dirty git tree is refused unless ``--force`` is
+given -- recorded numbers should always be attributable to a commit.
+
+``python -m repro bench`` is the same entry point via the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import perfbench
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the core perf suite and write BENCH_core.json")
+    parser.add_argument("--out", default=perfbench.DEFAULT_REPORT_PATH)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="process-pool size for the parallel A/B "
+                             "bench (0 = os.cpu_count())")
+    parser.add_argument("--events", type=int, default=200_000)
+    parser.add_argument("--packets", type=int, default=50_000)
+    parser.add_argument("--ab-users", type=int, default=10)
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite the report even on a dirty tree")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="measure and print, but do not write")
+    args = parser.parse_args(argv)
+
+    report = perfbench.collect(n_events=args.events, n_packets=args.packets,
+                               ab_users=args.ab_users,
+                               workers=args.workers or None)
+    print(perfbench.format_report(report))
+    if args.dry_run:
+        return 0
+    try:
+        path = perfbench.write_report(report, path=args.out,
+                                      force=args.force)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

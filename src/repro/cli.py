@@ -7,6 +7,11 @@ Commands:
 - ``ab``        -- run one A/B day (SP vs a treatment) and print stats
 - ``mobility``  -- replay one extreme-mobility trace pair (Fig. 13 row)
 - ``schemes``   -- list the available transport schemes
+- ``bench``     -- run the core perf suite, write ``BENCH_core.json``
+
+Population commands accept ``--workers N`` to fan independent sessions
+out over a process pool (0 = ``os.cpu_count()``); results are
+bit-identical to ``--workers 1``.
 """
 
 from __future__ import annotations
@@ -39,6 +44,13 @@ def _standard_paths(args) -> List[PathSpec]:
                  one_way_delay_s=args.lte_delay_ms / 1000.0,
                  rate_bps=args.lte_mbps * 1e6),
     ]
+
+
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="process-pool fan-out for independent sessions "
+             "(0 = all cores, 1 = in-process; default: all cores)")
 
 
 def _add_network_args(parser: argparse.ArgumentParser) -> None:
@@ -104,7 +116,8 @@ def cmd_race(args) -> int:
 def cmd_ab(args) -> int:
     cfg = ABTestConfig(users_per_day=args.users, seed=args.seed)
     schemes = ["sp", args.treatment]
-    results = run_ab_day(cfg, args.day, schemes)
+    results = run_ab_day(cfg, args.day, schemes,
+                         workers=args.workers or None)
     for scheme in schemes:
         day = results[scheme]
         rcts = day.rcts
@@ -123,7 +136,8 @@ def cmd_mobility(args) -> int:
         return 2
     pair = pairs[args.trace - 1]
     result = run_mobility_trace(pair, schemes=args.schemes,
-                                seed=args.seed)
+                                seed=args.seed,
+                                workers=args.workers or None)
     print(f"trace {pair['trace_id']} ({pair['environment']}):")
     for scheme in args.schemes:
         print(f"  {scheme:<12} median={result.median(scheme):.2f}s "
@@ -166,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     ab.add_argument("--users", type=int, default=10)
     ab.add_argument("--day", type=int, default=1)
     ab.add_argument("--seed", type=int, default=0)
+    _add_workers_arg(ab)
     ab.set_defaults(func=cmd_ab)
 
     mobility = sub.add_parser("mobility", help="replay a mobility trace")
@@ -175,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     mobility.add_argument("--schemes", nargs="+",
                           default=list(FIG13_SCHEMES))
     mobility.add_argument("--seed", type=int, default=0)
+    _add_workers_arg(mobility)
     mobility.set_defaults(func=cmd_mobility)
 
     schemes = sub.add_parser("schemes", help="list transport schemes")
@@ -188,7 +204,38 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--sections", nargs="+", default=None,
                         help="subset, e.g. fig6 fig8 ab")
     report.set_defaults(func=cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="run the core perf suite (writes BENCH_core.json)")
+    bench.add_argument("--out", default="BENCH_core.json")
+    bench.add_argument("--events", type=int, default=200_000)
+    bench.add_argument("--packets", type=int, default=50_000)
+    bench.add_argument("--ab-users", type=int, default=10)
+    bench.add_argument("--force", action="store_true",
+                       help="overwrite the report even on a dirty git tree")
+    bench.add_argument("--dry-run", action="store_true",
+                       help="measure and print, but do not write")
+    _add_workers_arg(bench)
+    bench.set_defaults(func=cmd_bench)
     return parser
+
+
+def cmd_bench(args) -> int:
+    from repro import perfbench
+    report = perfbench.collect(n_events=args.events, n_packets=args.packets,
+                               ab_users=args.ab_users,
+                               workers=args.workers or None)
+    print(perfbench.format_report(report))
+    if args.dry_run:
+        return 0
+    try:
+        path = perfbench.write_report(report, path=args.out,
+                                      force=args.force)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {path}")
+    return 0
 
 
 def cmd_report(args) -> int:

@@ -10,6 +10,9 @@ from repro.experiments.harness import (PathSpec, SchemeConfig, SessionResult,
                                        run_video_session, run_bulk_download,
                                        SCHEMES)
 from repro.experiments.abtest import ABTestConfig, run_ab_day, run_ab_test
+from repro.experiments.parallel import (SessionOutcome, SessionTask,
+                                        available_workers, fan_out,
+                                        run_session_tasks)
 
 __all__ = [
     "PathSpec",
@@ -21,4 +24,9 @@ __all__ = [
     "ABTestConfig",
     "run_ab_day",
     "run_ab_test",
+    "SessionOutcome",
+    "SessionTask",
+    "available_workers",
+    "fan_out",
+    "run_session_tasks",
 ]

@@ -13,7 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from typing import Optional
+
 from repro.experiments.harness import PathSpec, run_bulk_download, run_video_session
+from repro.experiments.parallel import fan_out
 from repro.metrics.stats import percentile
 from repro.traces.catalog import extreme_mobility_trace_pairs
 from repro.traces.radio_profiles import RadioType
@@ -86,36 +89,46 @@ def _chunked_video(n_chunks: int = CHUNKS_PER_TRACE,
                  chunk_size=chunk_bytes)
 
 
+def run_scheme_on_trace(pair: dict, scheme: str, seed: int = 0,
+                        timeout_s: float = 120.0) -> List[float]:
+    """Per-chunk download times for one scheme over one trace pair.
+
+    Module-level (and all-plain-data) so :func:`fan_out` can ship it to
+    a worker process.
+    """
+    paths = _paths_for_trace(pair)
+    if scheme == "sp":
+        paths = paths[:1]
+    if scheme == "mptcp":
+        return _run_mptcp_paced(paths, timeout_s=timeout_s, seed=seed)
+    # Realistic streaming player: finite buffer, constant-bitrate
+    # consumption, *sequential* chunk requests (Appendix B: the
+    # test player "sequentially requested data chunks").  The
+    # finite buffer keeps XLINK's QoE gate in the loop -- an
+    # infinite buffer would report "no urgency" forever and
+    # degenerate the experiment into a raw download race.
+    player_config = PlayerConfig(concurrent_requests=1,
+                                 max_buffer_s=3.0,
+                                 startup_frames=5, resume_frames=5)
+    session = run_video_session(scheme, paths, video=_chunked_video(),
+                                player_config=player_config,
+                                timeout_s=timeout_s, seed=seed)
+    times = list(session.metrics.request_completion_times)
+    while len(times) < CHUNKS_PER_TRACE:
+        times.append(timeout_s)  # unfinished chunks count as timeout
+    return times
+
+
 def run_mobility_trace(pair: dict, schemes: Sequence[str] = FIG13_SCHEMES,
-                       seed: int = 0,
-                       timeout_s: float = 120.0) -> MobilityResult:
+                       seed: int = 0, timeout_s: float = 120.0,
+                       workers: Optional[int] = 1) -> MobilityResult:
     """Run every scheme over one (cellular, wifi) trace pair."""
     result = MobilityResult(trace_id=pair["trace_id"],
                             environment=pair["environment"])
-    video = _chunked_video()
-    for scheme in schemes:
-        paths = _paths_for_trace(pair)
-        if scheme == "sp":
-            paths = paths[:1]
-        if scheme == "mptcp":
-            result.times[scheme] = _run_mptcp_paced(
-                _paths_for_trace(pair), timeout_s=timeout_s, seed=seed)
-            continue
-        # Realistic streaming player: finite buffer, constant-bitrate
-        # consumption, *sequential* chunk requests (Appendix B: the
-        # test player "sequentially requested data chunks").  The
-        # finite buffer keeps XLINK's QoE gate in the loop -- an
-        # infinite buffer would report "no urgency" forever and
-        # degenerate the experiment into a raw download race.
-        player_config = PlayerConfig(concurrent_requests=1,
-                                     max_buffer_s=3.0,
-                                     startup_frames=5, resume_frames=5)
-        session = run_video_session(scheme, paths, video=video,
-                                    player_config=player_config,
-                                    timeout_s=timeout_s, seed=seed)
-        times = list(session.metrics.request_completion_times)
-        while len(times) < CHUNKS_PER_TRACE:
-            times.append(timeout_s)  # unfinished chunks count as timeout
+    jobs = [{"pair": pair, "scheme": scheme, "seed": seed,
+             "timeout_s": timeout_s} for scheme in schemes]
+    for scheme, times in zip(schemes, fan_out(run_scheme_on_trace, jobs,
+                                              workers=workers)):
         result.times[scheme] = times
     return result
 
@@ -173,8 +186,24 @@ def _run_mptcp_paced(paths: List[PathSpec], timeout_s: float,
 
 def run_fig13(n_traces: int = 10, duration_s: float = 30.0,
               schemes: Sequence[str] = FIG13_SCHEMES,
-              seed: int = 0) -> List[MobilityResult]:
-    """The full Fig. 13 sweep over the trace catalog."""
+              seed: int = 0,
+              workers: Optional[int] = 1) -> List[MobilityResult]:
+    """The full Fig. 13 sweep over the trace catalog.
+
+    Fans the flat (trace, scheme) replay grid out over ``workers``
+    processes; each replay is independent, so the sweep parallelizes
+    to ``n_traces * len(schemes)`` tasks.
+    """
     pairs = extreme_mobility_trace_pairs(duration_s)[:n_traces]
-    return [run_mobility_trace(pair, schemes=schemes, seed=seed)
-            for pair in pairs]
+    jobs = [{"pair": pair, "scheme": scheme, "seed": seed}
+            for pair in pairs for scheme in schemes]
+    all_times = fan_out(run_scheme_on_trace, jobs, workers=workers)
+    results: List[MobilityResult] = []
+    it = iter(all_times)
+    for pair in pairs:
+        result = MobilityResult(trace_id=pair["trace_id"],
+                                environment=pair["environment"])
+        for scheme in schemes:
+            result.times[scheme] = next(it)
+        results.append(result)
+    return results

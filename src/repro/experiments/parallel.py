@@ -1,0 +1,185 @@
+"""Parallel experiment fan-out.
+
+Every experiment in this repository decomposes into *independent*
+discrete-event sessions: each one builds its own :class:`EventLoop`,
+network and endpoints from a ``(spec, seed)`` pair and never touches
+another session's state.  That makes the population drivers (the
+Fig. 11 A/B day, threshold sweeps, mobility replays, path experiments)
+embarrassingly parallel -- the same reason Mahimahi-style emulation
+farms run one shell per experiment.
+
+Two layers:
+
+- :func:`fan_out` -- ordered process-pool map of any *module-level*
+  callable over a list of kwargs dicts.  Results come back in
+  submission order regardless of which worker finished first, so a
+  parallel run is **bit-identical** to the serial loop it replaces.
+- :class:`SessionTask` / :func:`run_session_tasks` -- a picklable
+  description of one video-session or bulk-download simulation plus a
+  worker entry point that strips the (unpicklable) live objects out of
+  :class:`~repro.experiments.harness.SessionResult`, returning only the
+  plain-data :class:`SessionOutcome`.
+
+Determinism contract
+--------------------
+
+Each task carries its own fully-derived seed (the caller derives it
+from the experiment seed exactly as the serial code did), so a worker
+reconstructs the identical RNG streams no matter which process it runs
+in.  The only cross-session global is the debug-only ``dgram_id``
+counter, which no metric reads.  ``tests/test_parallel.py`` guards the
+contract: serial and parallel A/B days must produce identical metrics.
+
+Dispatch is chunked (``chunksize`` tasks per worker round-trip) to
+amortize pickling, and falls back to a plain in-process loop when
+``workers`` resolves to 1, when there is at most one task, or when the
+platform cannot ``fork`` (the pool relies on fork inheriting the
+parent's imports and dynamically-registered schemes cheaply; spawn
+would work for the built-in schemes but costs an interpreter boot per
+worker, so we keep the fallback simple and serial instead).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import (SCHEMES, PathSpec, SchemeConfig,
+                                       run_bulk_download, run_video_session)
+from repro.metrics.qoe import SessionMetrics
+from repro.traces.radio_profiles import RadioType
+from repro.video import PlayerConfig
+from repro.video.media import Video
+
+__all__ = [
+    "SessionTask",
+    "SessionOutcome",
+    "available_workers",
+    "resolve_workers",
+    "fan_out",
+    "execute_session_task",
+    "run_session_tasks",
+]
+
+
+def available_workers() -> int:
+    """Number of workers ``workers=None`` resolves to (``os.cpu_count``)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Map the public ``workers`` argument to a concrete worker count."""
+    if workers is None or workers <= 0:
+        return available_workers()
+    return int(workers)
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def _invoke(job: Tuple[Callable[..., Any], Dict[str, Any]]) -> Any:
+    fn, kwargs = job
+    return fn(**kwargs)
+
+
+def fan_out(fn: Callable[..., Any], kwargs_list: Sequence[Dict[str, Any]],
+            workers: Optional[int] = None,
+            chunksize: Optional[int] = None) -> List[Any]:
+    """Run ``fn(**kwargs)`` for every dict, preserving submission order.
+
+    ``fn`` must be a module-level callable (pickled by reference) and
+    both its kwargs and return value must be picklable.  ``workers``
+    follows the repo-wide convention: ``None``/``0`` means
+    ``os.cpu_count()``, ``1`` forces the in-process serial path.
+    """
+    jobs = list(kwargs_list)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(jobs) <= 1 or not _fork_available():
+        return [fn(**kwargs) for kwargs in jobs]
+    n_workers = min(n_workers, len(jobs))
+    if chunksize is None:
+        # ~4 dispatch rounds per worker balances pickling overhead
+        # against tail latency from uneven session costs.
+        chunksize = max(1, len(jobs) // (n_workers * 4))
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=n_workers) as pool:
+        return pool.map(_invoke, [(fn, kwargs) for kwargs in jobs],
+                        chunksize=chunksize)
+
+
+@dataclass
+class SessionTask:
+    """Picklable spec for one independent simulated session.
+
+    ``key`` is an opaque caller-side handle (e.g. ``(user, scheme)``)
+    echoed back on the outcome so results can be re-grouped without
+    relying on list positions.  ``scheme_config`` carries dynamically
+    registered scheme variants (threshold sweeps, ACK-policy ablations)
+    into the worker process, where they may not exist in the inherited
+    ``SCHEMES`` registry.
+    """
+
+    key: Any
+    scheme: str
+    paths: List[PathSpec]
+    video: Optional[Video] = None
+    player_config: Optional[PlayerConfig] = None
+    timeout_s: float = 120.0
+    seed: int = 0
+    primary_order: Optional[Sequence[RadioType]] = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    scheme_config: Optional[SchemeConfig] = None
+    #: "video" plays ``video``; "bulk" downloads ``total_bytes``
+    mode: str = "video"
+    total_bytes: int = 0
+
+
+@dataclass
+class SessionOutcome:
+    """The picklable subset of ``SessionResult`` population drivers use."""
+
+    key: Any
+    scheme: str
+    completed: bool
+    duration_s: float
+    metrics: SessionMetrics
+    reinjected_bytes: int = 0
+    new_stream_bytes: int = 0
+    download_time_s: Optional[float] = None
+
+
+def execute_session_task(task: SessionTask) -> SessionOutcome:
+    """Worker entry point: run one session, return plain data only."""
+    if task.scheme_config is not None and task.scheme not in SCHEMES:
+        SCHEMES[task.scheme] = task.scheme_config
+    if task.mode == "bulk":
+        result = run_bulk_download(task.scheme, task.paths, task.total_bytes,
+                                   timeout_s=task.timeout_s, seed=task.seed)
+    elif task.mode == "video":
+        result = run_video_session(
+            task.scheme, task.paths, video=task.video,
+            player_config=task.player_config, timeout_s=task.timeout_s,
+            seed=task.seed, primary_order=task.primary_order, **task.kwargs)
+    else:
+        raise ValueError(f"unknown session task mode {task.mode!r}")
+    return SessionOutcome(
+        key=task.key, scheme=task.scheme, completed=result.completed,
+        duration_s=result.duration_s, metrics=result.metrics,
+        reinjected_bytes=result.reinjected_bytes,
+        new_stream_bytes=result.new_stream_bytes,
+        download_time_s=result.download_time_s)
+
+
+def run_session_tasks(tasks: Sequence[SessionTask],
+                      workers: Optional[int] = None,
+                      chunksize: Optional[int] = None
+                      ) -> List[SessionOutcome]:
+    """Execute tasks (parallel when ``workers`` allows), in task order."""
+    return fan_out(execute_session_task, [{"task": t} for t in tasks],
+                   workers=workers, chunksize=chunksize)

@@ -11,9 +11,10 @@ ACK_MP return-path strategies (min-RTT vs original) under Cubic.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import PathSpec, run_bulk_download, run_video_session
+from repro.experiments.parallel import fan_out
 from repro.traces.radio_profiles import RADIO_PROFILES, RadioType
 from repro.video import PlayerConfig
 from repro.video.media import Video
@@ -68,13 +69,20 @@ def run_fig7_point(primary: str, first_frame_size: int,
 
 
 def run_fig7(frame_sizes: Sequence[int] = FIG7_FRAME_SIZES,
-             seed: int = 0) -> Dict[str, List[Tuple[int, float]]]:
-    """Full Fig. 7 sweep: {primary: [(frame_size, latency_s), ...]}."""
+             seed: int = 0,
+             workers: Optional[int] = 1
+             ) -> Dict[str, List[Tuple[int, float]]]:
+    """Full Fig. 7 sweep: {primary: [(frame_size, latency_s), ...]}.
+
+    The (primary, size) grid fans out over ``workers`` processes.
+    """
     out: Dict[str, List[Tuple[int, float]]] = {"wifi": [], "5g": []}
-    for primary in out:
-        for size in frame_sizes:
-            out[primary].append((size, run_fig7_point(primary, size,
-                                                      seed=seed)))
+    grid = [(primary, size) for primary in out for size in frame_sizes]
+    jobs = [{"primary": primary, "first_frame_size": size, "seed": seed}
+            for primary, size in grid]
+    for (primary, size), latency in zip(grid, fan_out(run_fig7_point, jobs,
+                                                      workers=workers)):
+        out[primary].append((size, latency))
     return out
 
 
@@ -117,12 +125,19 @@ def run_fig8_point(rtt_ratio: float, ack_policy: str,
 
 
 def run_fig8(ratios: Sequence[float] = FIG8_RTT_RATIOS,
-             seed: int = 0) -> Dict[str, List[Tuple[float, float]]]:
-    """Full Fig. 8 sweep: {policy: [(ratio, completion_s), ...]}."""
+             seed: int = 0,
+             workers: Optional[int] = 1
+             ) -> Dict[str, List[Tuple[float, float]]]:
+    """Full Fig. 8 sweep: {policy: [(ratio, completion_s), ...]}.
+
+    The (policy, ratio) grid fans out over ``workers`` processes.
+    """
     out: Dict[str, List[Tuple[float, float]]] = {"fastest": [],
                                                  "original": []}
-    for policy in out:
-        for ratio in ratios:
-            out[policy].append(
-                (ratio, run_fig8_point(ratio, policy, seed=seed)))
+    grid = [(policy, ratio) for policy in out for ratio in ratios]
+    jobs = [{"rtt_ratio": ratio, "ack_policy": policy, "seed": seed}
+            for policy, ratio in grid]
+    for (policy, ratio), time_s in zip(grid, fan_out(run_fig8_point, jobs,
+                                                     workers=workers)):
+        out[policy].append((ratio, time_s))
     return out

@@ -39,10 +39,11 @@ DANGER_LEVEL_S = 0.050
 
 
 def measure_playtime_distribution(cfg: ABTestConfig,
-                                  scheme: str = "vanilla_mp"
+                                  scheme: str = "vanilla_mp",
+                                  workers: Optional[int] = 1
                                   ) -> List[float]:
     """Buffer play-time-left samples with re-injection control off."""
-    day = run_ab_day(cfg, 1, [scheme])[scheme]
+    day = run_ab_day(cfg, 1, [scheme], workers=workers)[scheme]
     samples: List[float] = []
     for session in day.sessions:
         samples.extend(session.buffer_level_samples)
@@ -92,10 +93,16 @@ def _danger_fraction(samples: Sequence[float]) -> float:
 def run_threshold_sweep(cfg: ABTestConfig,
                         settings: Sequence[Tuple[int, int]] =
                         PAPER_THRESHOLD_SETTINGS,
-                        include_off: bool = True) -> List[ThresholdResult]:
-    """Fig. 10 / Table 2: sweep threshold settings over one population."""
-    distribution = measure_playtime_distribution(cfg)
-    sp_day = run_ab_day(cfg, 2, ["sp"])["sp"]
+                        include_off: bool = True,
+                        workers: Optional[int] = 1) -> List[ThresholdResult]:
+    """Fig. 10 / Table 2: sweep threshold settings over one population.
+
+    ``workers`` fans each population's sessions out over processes
+    (``None``/``0`` = ``os.cpu_count()``); results are bit-identical
+    to the serial run.
+    """
+    distribution = measure_playtime_distribution(cfg, workers=workers)
+    sp_day = run_ab_day(cfg, 2, ["sp"], workers=workers)["sp"]
     sp_samples = [s for sess in sp_day.sessions
                   for s in sess.buffer_level_samples]
 
@@ -112,7 +119,8 @@ def run_threshold_sweep(cfg: ABTestConfig,
                 base, name=scheme_name, thresholds=thresholds)
             overrides = None
         try:
-            day = run_ab_day(cfg, 2, [scheme_name], overrides)[scheme_name]
+            day = run_ab_day(cfg, 2, [scheme_name], overrides,
+                             workers=workers)[scheme_name]
         finally:
             if thresholds is not None:
                 del SCHEMES[scheme_name]

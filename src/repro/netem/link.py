@@ -39,6 +39,15 @@ class LinkStats:
     busy_until: float = 0.0
 
     def as_dict(self) -> dict:
+        """Counters as a plain dict (what benches serialize).
+
+        ``busy_until`` is intentionally omitted: it is a transient
+        virtual-time scheduling artifact (the instant the current
+        serialization finishes), not a monotonic counter, so it is
+        meaningless once a run has ended and would make otherwise
+        identical runs diff on their stats dumps.  Read
+        ``stats.busy_until`` directly if you need the live value.
+        """
         return {
             "packets_in": self.packets_in,
             "packets_out": self.packets_out,
@@ -83,6 +92,13 @@ class _QueueMixin:
     def queue_depth_packets(self) -> int:
         return len(self._queue)
 
+    def stats_dict(self) -> dict:
+        """Counters plus live queue-depth gauges, for bench dumps."""
+        out = self.stats.as_dict()
+        out["queue_depth_packets"] = len(self._queue)
+        out["queue_depth_bytes"] = self._queued_bytes
+        return out
+
 
 class ConstantRateLink(_QueueMixin):
     """Fluid link: serialization delay = wire_size / rate."""
@@ -99,6 +115,7 @@ class ConstantRateLink(_QueueMixin):
         self._queue: Deque[Datagram] = deque()
         self._queued_bytes = 0
         self._busy = False
+        self._transmitting: Optional[Datagram] = None
 
     def send(self, dgram: Datagram) -> None:
         """Accept a datagram for transmission."""
@@ -121,14 +138,18 @@ class ConstantRateLink(_QueueMixin):
         dgram = self._dequeue()
         tx_time = dgram.wire_size * 8.0 / self.rate_bps
         self.stats.busy_until = self.loop.now + tx_time
+        # At most one datagram serializes at a time, so a single slot
+        # replaces the per-packet closure the loop used to allocate.
+        self._transmitting = dgram
+        self.loop.schedule_after(tx_time, self._tx_done, label="link-tx")
 
-        def _done() -> None:
-            self.stats.packets_out += 1
-            self.stats.bytes_out += dgram.wire_size
-            self.deliver(dgram)
-            self._transmit_next()
-
-        self.loop.schedule_after(tx_time, _done, label="link-tx")
+    def _tx_done(self) -> None:
+        dgram = self._transmitting
+        self._transmitting = None
+        self.stats.packets_out += 1
+        self.stats.bytes_out += dgram.wire_size
+        self.deliver(dgram)
+        self._transmit_next()
 
 
 class TraceDrivenLink(_QueueMixin):
@@ -204,21 +225,60 @@ class TraceDrivenLink(_QueueMixin):
         if self._pump_scheduled or not self._queue:
             return
         # Fast-forward past opportunities that are already in the past.
-        while self._next_opportunity_time() < self.loop.now - 1e-12:
-            self._consume_opportunity()
+        # Everything lives in locals: dense traces can skip thousands of
+        # expired slots per call after an idle period.
+        now = self.loop.now
+        trace = self.trace_ms
+        n = len(trace)
+        period = self.period_ms
+        start = self.start_time
+        idx = self._opportunity_idx
+        wraps = self._wraps
+        t = start + (wraps * period + trace[idx]) / 1000.0
+        limit = now - 1e-12
+        while t < limit:
+            idx += 1
+            if idx >= n:
+                idx = 0
+                wraps += 1
+            t = start + (wraps * period + trace[idx]) / 1000.0
+        self._opportunity_idx = idx
+        self._wraps = wraps
         self._pump_scheduled = True
-        when = max(self._next_opportunity_time(), self.loop.now)
-        self.loop.schedule_at(when, self._pump, label="trace-link-pump")
+        self.loop.schedule_at(t if t > now else now, self._pump,
+                              label="trace-link-pump")
 
     def _pump(self) -> None:
+        # One event drains *every* opportunity in the current slot
+        # (high-rate traces put many identical ms timestamps in a row),
+        # instead of re-scheduling one event per packet at the same
+        # virtual instant.  ``_pump_scheduled`` stays True while we
+        # drain so reentrant send() calls from deliver() cannot
+        # schedule a second pump against opportunities this loop is
+        # about to consume.
+        queue = self._queue
+        stats = self.stats
+        deliver = self.deliver
+        trace = self.trace_ms
+        n = len(trace)
+        period = self.period_ms
+        start = self.start_time
+        limit = self.loop.now + 1e-12
+        while queue:
+            idx = self._opportunity_idx
+            t = start + (self._wraps * period + trace[idx]) / 1000.0
+            if t > limit:
+                break
+            idx += 1
+            if idx >= n:
+                idx = 0
+                self._wraps += 1
+            self._opportunity_idx = idx
+            dgram = queue.popleft()
+            self._queued_bytes -= dgram.wire_size
+            stats.packets_out += 1
+            stats.bytes_out += dgram.wire_size
+            deliver(dgram)
         self._pump_scheduled = False
-        if not self._queue:
-            return
-        # The opportunity at (or before) now delivers one packet.
-        dgram = self._dequeue()
-        self._consume_opportunity()
-        self.stats.packets_out += 1
-        self.stats.bytes_out += dgram.wire_size
-        self.deliver(dgram)
-        if self._queue:
+        if queue:
             self._schedule_pump()

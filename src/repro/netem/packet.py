@@ -20,7 +20,7 @@ MTU = 1500
 _dgram_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """One UDP-like datagram in flight."""
 

@@ -1,0 +1,230 @@
+"""Core performance microbenchmarks.
+
+Four measurements track the simulator's hot paths across PRs:
+
+- ``event_loop``: events/sec through a raw self-rescheduling event
+  chain -- the floor every simulated second stands on;
+- ``trace_link``: packets/sec through a Mahimahi-style
+  :class:`TraceDrivenLink` with multi-opportunity slots (exercises the
+  batched same-slot delivery path);
+- ``session_xlink``: wall-clock seconds for one reference ``xlink``
+  video session (the end-to-end unit every population driver repeats);
+- ``ab_day_parallel``: wall-clock of one A/B day serial vs fanned out
+  over the process pool, plus the speedup ratio and a checksum-style
+  equality flag for the determinism contract.
+
+:func:`collect` gathers everything into a JSON-serializable report and
+:func:`write_report` persists it to ``BENCH_core.json`` so future PRs
+have a trajectory to beat.  Writes refuse to *overwrite* an existing
+report from a dirty git tree (the numbers would not be attributable to
+a commit); pass ``force=True`` to override.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.abtest import ABTestConfig, run_ab_day
+from repro.experiments.harness import PathSpec, run_video_session
+from repro.netem.link import TraceDrivenLink
+from repro.netem.packet import Datagram
+from repro.sim.event_loop import EventLoop
+from repro.traces.radio_profiles import RadioType
+
+#: Default output file, relative to the current working directory.
+DEFAULT_REPORT_PATH = "BENCH_core.json"
+
+
+# ---------------------------------------------------------------------------
+# microbenchmarks
+# ---------------------------------------------------------------------------
+
+
+def bench_event_loop(n_events: int = 200_000) -> Dict[str, Any]:
+    """Events/sec of a raw self-rescheduling event chain."""
+    loop = EventLoop()
+    state = {"left": n_events}
+
+    def tick() -> None:
+        state["left"] -= 1
+        if state["left"] > 0:
+            loop.schedule_after(0.001, tick)
+
+    loop.schedule_at(0.0, tick)
+    t0 = time.perf_counter()
+    loop.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "events": n_events,
+        "seconds": elapsed,
+        "events_per_sec": n_events / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def bench_trace_link(n_packets: int = 50_000) -> Dict[str, Any]:
+    """Packets/sec through a trace link with 4 opportunities per slot."""
+    loop = EventLoop()
+    delivered: List[Datagram] = []
+    link = TraceDrivenLink(loop, trace_ms=[0, 0, 0, 0, 1, 1, 1, 1],
+                           deliver=delivered.append,
+                           queue_limit_bytes=1 << 30)
+    payload = b"x" * 1200
+    for _ in range(n_packets):
+        link.send(Datagram(payload=payload))
+    t0 = time.perf_counter()
+    loop.run()
+    elapsed = time.perf_counter() - t0
+    if len(delivered) != n_packets:
+        raise RuntimeError(
+            f"trace link delivered {len(delivered)} != {n_packets}")
+    return {
+        "packets": n_packets,
+        "seconds": elapsed,
+        "packets_per_sec": n_packets / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def _reference_paths() -> List[PathSpec]:
+    return [
+        PathSpec(net_path_id=0, radio=RadioType.WIFI,
+                 one_way_delay_s=0.012, rate_bps=10e6),
+        PathSpec(net_path_id=1, radio=RadioType.LTE,
+                 one_way_delay_s=0.040, rate_bps=5e6),
+    ]
+
+
+def bench_reference_session(seed: int = 7) -> Dict[str, Any]:
+    """Wall-clock of one reference ``xlink`` video session."""
+    t0 = time.perf_counter()
+    result = run_video_session("xlink", _reference_paths(),
+                               timeout_s=60.0, seed=seed)
+    elapsed = time.perf_counter() - t0
+    return {
+        "seconds": elapsed,
+        "completed": result.completed,
+        "virtual_seconds": result.duration_s,
+        "virtual_per_wall": (result.duration_s / elapsed
+                             if elapsed > 0 else 0.0),
+    }
+
+
+def bench_parallel_ab_day(users_per_day: int = 10,
+                          workers: Optional[int] = None,
+                          seed: int = 3) -> Dict[str, Any]:
+    """One A/B day serial vs parallel: wall-clock, speedup, identity."""
+    cfg = ABTestConfig(users_per_day=users_per_day, seed=seed,
+                       video_duration_s=6.0)
+    schemes = ["sp", "xlink"]
+
+    t0 = time.perf_counter()
+    serial = run_ab_day(cfg, 1, schemes, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_ab_day(cfg, 1, schemes, workers=workers)
+    parallel_s = time.perf_counter() - t0
+
+    identical = all(serial[s].sessions == parallel[s].sessions
+                    for s in schemes)
+    from repro.experiments.parallel import resolve_workers
+    return {
+        "users_per_day": users_per_day,
+        "sessions": users_per_day * len(schemes),
+        "workers": resolve_workers(workers),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "identical_metrics": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# report assembly / persistence
+# ---------------------------------------------------------------------------
+
+
+def collect(n_events: int = 200_000, n_packets: int = 50_000,
+            ab_users: int = 10,
+            workers: Optional[int] = None) -> Dict[str, Any]:
+    """Run the whole suite once (``rounds=1``) and assemble the report."""
+    return {
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "git_commit": _git_commit(),
+        },
+        "benchmarks": {
+            "event_loop": bench_event_loop(n_events),
+            "trace_link": bench_trace_link(n_packets),
+            "session_xlink": bench_reference_session(),
+            "ab_day_parallel": bench_parallel_ab_day(ab_users,
+                                                     workers=workers),
+        },
+    }
+
+
+def _git(*args: str) -> Optional[str]:
+    try:
+        out = subprocess.run(["git", *args], capture_output=True,
+                             text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout
+
+
+def _git_commit() -> Optional[str]:
+    out = _git("rev-parse", "--short", "HEAD")
+    return out.strip() if out else None
+
+
+def git_tree_dirty() -> Optional[bool]:
+    """True/False from ``git status --porcelain``; None outside a repo."""
+    out = _git("status", "--porcelain")
+    if out is None:
+        return None
+    return bool(out.strip())
+
+
+def write_report(report: Dict[str, Any],
+                 path: str = DEFAULT_REPORT_PATH,
+                 force: bool = False) -> str:
+    """Write the report; guard overwrites from a dirty working tree.
+
+    A fresh ``BENCH_core.json`` may always be written, but replacing an
+    existing one requires a clean tree (so the recorded numbers always
+    correspond to a commit) unless ``force`` is set.
+    """
+    if os.path.exists(path) and not force and git_tree_dirty():
+        raise RuntimeError(
+            f"refusing to overwrite {path}: git tree is dirty "
+            "(commit first, or pass --force)")
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary of a collected report."""
+    b = report["benchmarks"]
+    ab = b["ab_day_parallel"]
+    lines = [
+        f"event_loop      {b['event_loop']['events_per_sec']:>12,.0f} events/sec",
+        f"trace_link      {b['trace_link']['packets_per_sec']:>12,.0f} packets/sec",
+        f"session_xlink   {b['session_xlink']['seconds']:>12.3f} s wall-clock "
+        f"({b['session_xlink']['virtual_per_wall']:.1f}x realtime)",
+        f"ab_day          {ab['serial_seconds']:>12.3f} s serial / "
+        f"{ab['parallel_seconds']:.3f} s x{ab['workers']} workers "
+        f"(speedup {ab['speedup']:.2f}, "
+        f"identical={ab['identical_metrics']})",
+    ]
+    return "\n".join(lines)

@@ -52,7 +52,7 @@ class PathStatus(enum.IntEnum):
     AVAILABLE = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckRange:
     """Inclusive packet-number range [start, end]."""
 
@@ -67,7 +67,7 @@ class AckRange:
         return self.start <= pn <= self.end
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QoeSignals:
     """The four QoE feedback signals the Taobao client reports (Sec. 5.2).
 
@@ -116,17 +116,17 @@ class QoeSignals:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PaddingFrame:
     length: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PingFrame:
     pass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckFrame:
     """Single-space ACK used before multipath negotiation completes."""
 
@@ -135,7 +135,7 @@ class AckFrame:
     ranges: Tuple[AckRange, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckMpFrame:
     """Multipath ACK: per-path ack ranges + XLINK QoE field.
 
@@ -152,13 +152,13 @@ class AckMpFrame:
     qoe: Optional[QoeSignals] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CryptoFrame:
     offset: int
     data: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamFrame:
     stream_id: int
     offset: int
@@ -166,25 +166,25 @@ class StreamFrame:
     fin: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MaxDataFrame:
     maximum: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MaxStreamDataFrame:
     stream_id: int
     maximum: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewConnectionIdFrame:
     sequence_number: int
     cid: bytes
     retire_prior_to: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathChallengeFrame:
     data: bytes  # 8 bytes
 
@@ -193,7 +193,7 @@ class PathChallengeFrame:
             raise ValueError("PATH_CHALLENGE data must be 8 bytes")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathResponseFrame:
     data: bytes  # 8 bytes
 
@@ -202,13 +202,13 @@ class PathResponseFrame:
             raise ValueError("PATH_RESPONSE data must be 8 bytes")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConnectionCloseFrame:
     error_code: int
     reason: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathStatusFrame:
     """Informs the peer of a path's status (Abandon/Standby/Available)."""
 
@@ -217,7 +217,7 @@ class PathStatusFrame:
     status_seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QoeControlSignalsFrame:
     """The draft's standalone QoE frame, decoupled from ACK frequency."""
 

@@ -22,7 +22,7 @@ TIME_THRESHOLD = 9.0 / 8.0
 MAX_PTO_COUNT = 10
 
 
-@dataclass
+@dataclass(slots=True)
 class SentPacket:
     """Bookkeeping for one sent packet in one path's PN space."""
 

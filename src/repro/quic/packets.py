@@ -32,7 +32,7 @@ class PacketType(enum.Enum):
     ONE_RTT = "1rtt"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PacketHeader:
     packet_type: PacketType
     dcid: bytes

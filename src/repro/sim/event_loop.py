@@ -4,35 +4,58 @@ Events fire in ``(time, sequence)`` order; the sequence number is a
 monotonically increasing insertion counter, so events scheduled for the
 same instant run first-scheduled-first.  Determinism here is what makes
 every benchmark in the repository reproducible.
+
+Hot-path notes: the heap stores raw ``(time, seq, event)`` tuples so
+ordering is plain tuple comparison (``seq`` is unique, so the
+:class:`Event` object itself is never compared), :class:`Event` uses
+``__slots__``, and :meth:`EventLoop.run` keeps the heap, clock and
+``heappop`` in locals.  Cancelled events are skipped lazily when they
+reach the top of the heap; when more than half the heap is dead the
+loop compacts it in place so long-lived simulations with heavy timer
+re-arming (QUIC PTO timers) do not drag a graveyard around.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.sim.clock import Clock
+
+#: Compaction is considered once at least this many cancellations are
+#: pending; below it the lazy top-of-heap skip is always cheaper.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven incorrectly."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Comparison uses (time, seq) only."""
+    """A scheduled callback.  Heap ordering uses (time, seq) only."""
 
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "_loop")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], Any],
+                 label: str = "", loop: Optional["EventLoop"] = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+        self._loop = loop
 
     def cancel(self) -> None:
         """Mark the event dead; the loop will skip it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            loop = self._loop
+            if loop is not None:
+                loop._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
 
 
 class EventLoop:
@@ -40,10 +63,12 @@ class EventLoop:
 
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else Clock()
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        #: heap of (time, seq, Event); tuple order never reaches the Event
+        self._heap: list = []
+        self._seq = 0
         self._running = False
         self._events_run = 0
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -57,13 +82,14 @@ class EventLoop:
     def schedule_at(self, time: float, callback: Callable[[], Any],
                     label: str = "") -> Event:
         """Schedule ``callback`` at absolute virtual ``time``."""
-        if time < self.clock.now:
+        if time < self.clock._now:
             raise SimulationError(
                 f"cannot schedule in the past: {time:.9f} < {self.clock.now:.9f}"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback,
-                      label=label)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, label, self)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def schedule_after(self, delay: float, callback: Callable[[], Any],
@@ -71,25 +97,46 @@ class EventLoop:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self.clock.now + delay, callback, label=label)
+        return self.schedule_at(self.clock._now + delay, callback, label=label)
 
     def call_soon(self, callback: Callable[[], Any], label: str = "") -> Event:
         """Schedule ``callback`` at the current instant (after pending ties)."""
-        return self.schedule_at(self.clock.now, callback, label=label)
+        return self.schedule_at(self.clock._now, callback, label=label)
+
+    def _note_cancelled(self) -> None:
+        """Track a cancellation; compact the heap when mostly dead.
+
+        Compaction mutates ``self._heap`` in place (slice assignment)
+        because :meth:`run` holds a local reference to the list.
+        """
+        self._cancelled_pending += 1
+        heap = self._heap
+        if (self._cancelled_pending >= _COMPACT_MIN_CANCELLED
+                and self._cancelled_pending * 2 > len(heap)):
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled_pending = 0
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Run the next live event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _seq, event = pop(heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
-            self.clock._advance_to(event.time)
+            # Monotonic by construction: schedule_at rejects past times,
+            # so a direct store is safe (and skips the guarded method).
+            self.clock._now = time
             self._events_run += 1
             event.callback()
             return True
@@ -100,27 +147,38 @@ class EventLoop:
         """Run events until the queue drains or virtual ``until`` is reached.
 
         Returns the final virtual time.  ``max_events`` is a runaway
-        guard; hitting it raises :class:`SimulationError`.
+        guard: exactly ``max_events`` events may execute; the guard
+        raises :class:`SimulationError` only when a further live event
+        is still pending (so a queue that drains at the limit is fine).
         """
         if self._running:
             raise SimulationError("event loop is not reentrant")
         self._running = True
+        heap = self._heap          # compaction mutates in place, so this
+        clock = self.clock         # local stays valid across callbacks
+        pop = heapq.heappop
+        executed = 0
         try:
-            executed = 0
-            while True:
-                next_time = self.peek_time()
-                if next_time is None:
+            while heap:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    pop(heap)
+                    self._cancelled_pending -= 1
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
+                    clock._advance_to(until)
                     break
-                if until is not None and next_time > until:
-                    self.clock._advance_to(until)
-                    break
-                if not self.step():
-                    break
-                executed += 1
-                if executed > max_events:
+                if executed >= max_events:
                     raise SimulationError(
                         f"exceeded {max_events} events; runaway simulation?"
                     )
-            return self.clock.now
+                pop(heap)
+                clock._now = time  # monotonic: schedule_at rejects the past
+                executed += 1
+                event.callback()
+            return clock._now
         finally:
+            self._events_run += executed
             self._running = False

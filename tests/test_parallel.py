@@ -1,0 +1,113 @@
+"""Tests for the parallel experiment runner.
+
+The load-bearing guarantee is the determinism contract: fanning
+sessions out over a process pool must produce *bit-identical* results
+to the serial loop, because every task carries a fully-derived seed and
+outcomes are reassembled in submission order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.abtest import (ABTestConfig, build_ab_day_tasks,
+                                      run_ab_day)
+from repro.experiments.parallel import (SessionTask, available_workers,
+                                        fan_out, resolve_workers,
+                                        run_session_tasks)
+from repro.experiments.harness import PathSpec
+from repro.traces.radio_profiles import RadioType
+
+
+def _small_cfg(**overrides) -> ABTestConfig:
+    defaults = dict(users_per_day=4, days=1, video_duration_s=4.0,
+                    seed=11)
+    defaults.update(overrides)
+    return ABTestConfig(**defaults)
+
+
+def _square(x):
+    return x * x
+
+
+class TestFanOut:
+    def test_preserves_order_serial(self):
+        jobs = [{"x": i} for i in range(10)]
+        assert fan_out(_square, jobs, workers=1) == [i * i for i in range(10)]
+
+    def test_preserves_order_parallel(self):
+        jobs = [{"x": i} for i in range(10)]
+        assert fan_out(_square, jobs, workers=3) == [i * i for i in range(10)]
+
+    def test_empty_job_list(self):
+        assert fan_out(_square, [], workers=4) == []
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) == available_workers()
+        assert resolve_workers(0) == available_workers()
+
+
+class TestSeedStability:
+    """The same ABTestConfig seed => identical DayResult metrics,
+    serial vs parallel (the determinism contract of the runner)."""
+
+    def test_ab_day_serial_vs_parallel_identical(self):
+        cfg = _small_cfg()
+        schemes = ["sp", "xlink"]
+        serial = run_ab_day(cfg, 1, schemes, workers=1)
+        parallel = run_ab_day(cfg, 1, schemes, workers=2)
+        for scheme in schemes:
+            assert serial[scheme].sessions == parallel[scheme].sessions
+            assert serial[scheme].rcts == parallel[scheme].rcts
+            assert (serial[scheme].rebuffer_rate
+                    == parallel[scheme].rebuffer_rate)
+
+    def test_ab_day_serial_is_repeatable(self):
+        cfg = _small_cfg()
+        a = run_ab_day(cfg, 1, ["sp"], workers=1)
+        b = run_ab_day(cfg, 1, ["sp"], workers=1)
+        assert a["sp"].sessions == b["sp"].sessions
+
+    def test_task_seeds_do_not_depend_on_scheme_order(self):
+        cfg = _small_cfg()
+        ab = build_ab_day_tasks(cfg, 1, ["sp", "xlink"])
+        ba = build_ab_day_tasks(cfg, 1, ["xlink", "sp"])
+        seeds_ab = {t.key: t.seed for t in ab}
+        seeds_ba = {t.key: t.seed for t in ba}
+        assert seeds_ab == seeds_ba
+
+
+class TestSessionTasks:
+    def _task(self, key=0, seed=5) -> SessionTask:
+        paths = [PathSpec(net_path_id=0, radio=RadioType.WIFI,
+                          one_way_delay_s=0.010, rate_bps=8e6)]
+        return SessionTask(key=key, scheme="sp", paths=paths,
+                           timeout_s=30.0, seed=seed)
+
+    def test_outcome_matches_across_workers(self):
+        serial = run_session_tasks([self._task()], workers=1)[0]
+        parallel = run_session_tasks([self._task(), self._task(key=1)],
+                                     workers=2)
+        assert serial.completed
+        assert parallel[0].metrics == serial.metrics
+        assert parallel[0].key == 0 and parallel[1].key == 1
+
+    def test_bulk_mode(self):
+        task = self._task()
+        task.mode = "bulk"
+        task.total_bytes = 200_000
+        outcome = run_session_tasks([task], workers=1)[0]
+        assert outcome.download_time_s is not None
+
+    def test_unknown_mode_rejected(self):
+        task = self._task()
+        task.mode = "nope"
+        with pytest.raises(ValueError):
+            run_session_tasks([task], workers=1)
+
+    def test_outcomes_are_plain_data(self):
+        import pickle
+        outcome = run_session_tasks([self._task()], workers=1)[0]
+        assert pickle.loads(pickle.dumps(outcome)) == outcome

@@ -132,6 +132,123 @@ class TestEventLoop:
         with pytest.raises(SimulationError):
             loop.run(max_events=100)
 
+    def test_max_events_guard_counts_exactly(self):
+        """The guard allows exactly max_events executions (no off-by-one)."""
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule_after(0.001, forever)
+
+        loop.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+        assert loop.events_run == 100
+
+    def test_max_events_exact_queue_drains_cleanly(self):
+        """A queue that drains at the limit must not raise."""
+        loop = EventLoop()
+        seen = []
+        for i in range(5):
+            loop.schedule_at(float(i), lambda i=i: seen.append(i))
+        loop.run(max_events=5)
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestEventLoopEdgeCases:
+    def test_event_scheduled_exactly_at_until_runs(self):
+        """run(until=t) executes events at exactly t (only later ones wait)."""
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(2.0, lambda: seen.append("at-until"))
+        loop.schedule_at(2.0 + 1e-9, lambda: seen.append("after-until"))
+        loop.run(until=2.0)
+        assert seen == ["at-until"]
+        assert loop.now == 2.0
+
+    def test_cancel_head_event(self):
+        """Cancelling the current heap head must not disturb the rest."""
+        loop = EventLoop()
+        seen = []
+        head = loop.schedule_at(1.0, lambda: seen.append("head"))
+        loop.schedule_at(2.0, lambda: seen.append("tail"))
+        head.cancel()
+        assert loop.peek_time() == 2.0
+        loop.run()
+        assert seen == ["tail"]
+
+    def test_cancel_is_idempotent(self):
+        loop = EventLoop()
+        event = loop.schedule_at(1.0, lambda: None)
+        event.cancel()
+        event.cancel()  # second cancel must not double-count
+        loop.schedule_at(2.0, lambda: None)
+        assert loop.peek_time() == 2.0
+
+    def test_cancel_from_within_callback(self):
+        """An earlier callback may cancel a pending later event."""
+        loop = EventLoop()
+        seen = []
+        victim = loop.schedule_at(1.0, lambda: seen.append("victim"))
+        loop.schedule_at(0.5, victim.cancel)
+        loop.schedule_at(1.0, lambda: seen.append("survivor"))
+        loop.run()
+        assert seen == ["survivor"]
+
+    def test_call_soon_ordering_under_ties(self):
+        """call_soon chains run strictly in scheduling order at one instant."""
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.call_soon(lambda: seen.append("nested"))
+
+        loop.call_soon(first)
+        loop.call_soon(lambda: seen.append("second"))
+        loop.run()
+        # nested was scheduled *after* second, so it runs last
+        assert seen == ["first", "second", "nested"]
+
+    def test_non_reentrancy(self):
+        loop = EventLoop()
+        errors = []
+
+        def reenter():
+            try:
+                loop.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        loop.schedule_at(1.0, reenter)
+        loop.run()
+        assert errors and "reentrant" in errors[0]
+
+    def test_loop_usable_after_callback_exception(self):
+        """A raising callback leaves the loop resumable (not stuck running)."""
+        loop = EventLoop()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        loop.schedule_at(1.0, boom)
+        loop.schedule_at(2.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            loop.run()
+        loop.run()
+        assert loop.now == 2.0
+
+    def test_heavy_cancellation_compacts_heap(self):
+        """Mass cancellation must not leave a graveyard in the heap."""
+        loop = EventLoop()
+        events = [loop.schedule_at(1.0 + i * 0.001, lambda: None)
+                  for i in range(1000)]
+        for event in events[:900]:
+            event.cancel()
+        # compaction keeps the heap small; survivors all still fire
+        assert len(loop._heap) <= 200
+        loop.run()
+        assert loop.events_run == 100
+
 
 class TestRng:
     def test_same_seed_same_stream(self):
