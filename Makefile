@@ -2,11 +2,19 @@
 # importable without an editable install.
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-pytest
+.PHONY: test lint bench bench-pytest
 
-## tier-1 verification: the full unit/integration suite
-test:
+## tier-1 verification: lint gate, then the full unit/integration suite
+test: lint
 	$(PY) -m pytest -x -q
+
+## ruff with the pinned config when installed, stdlib fallback otherwise
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests tools benchmarks; \
+	else \
+		$(PY) tools/lint.py src tests tools benchmarks; \
+	fi
 
 ## run the core perf suite once (rounds=1) and write BENCH_core.json;
 ## refuses to overwrite an existing report from a dirty git tree

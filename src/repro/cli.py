@@ -4,10 +4,16 @@ Commands:
 
 - ``play``      -- run one emulated video session under a scheme
 - ``race``      -- bulk-download race across schemes on one network
+- ``serve``     -- one CDN host serving N concurrent sessions on a
+  shared cell (the multi-user contention experiment)
 - ``ab``        -- run one A/B day (SP vs a treatment) and print stats
 - ``mobility``  -- replay one extreme-mobility trace pair (Fig. 13 row)
 - ``schemes``   -- list the available transport schemes
 - ``bench``     -- run the core perf suite, write ``BENCH_core.json``
+
+``play`` and ``race`` accept ``--qlog PATH`` to record a qlog-style
+event trace of the client connection (``race`` writes one file per
+scheme, suffixing the scheme name).
 
 Population commands accept ``--workers N`` to fan independent sessions
 out over a process pool (0 = ``os.cpu_count()``); results are
@@ -17,15 +23,18 @@ bit-identical to ``--workers 1``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.experiments import (ABTestConfig, PathSpec, SCHEMES,
                                run_ab_day, run_bulk_download,
                                run_video_session)
+from repro.experiments.contention import ContentionConfig, run_contention
 from repro.experiments.mobility import FIG13_SCHEMES, run_mobility_trace
 from repro.metrics import percentile
 from repro.netem import OutageSchedule
+from repro.quic.trace import ConnectionTracer
 from repro.traces.catalog import extreme_mobility_trace_pairs
 from repro.traces.radio_profiles import RadioType
 from repro.video import PlayerConfig, make_video
@@ -76,10 +85,14 @@ def cmd_play(args) -> int:
     video = make_video(duration_s=args.duration,
                        bitrate_bps=args.bitrate_mbps * 1e6,
                        seed=args.seed)
+    tracer = ConnectionTracer() if args.qlog else None
     result = run_video_session(
         scheme, paths, video=video,
         player_config=PlayerConfig(max_buffer_s=args.buffer),
-        timeout_s=args.timeout, seed=args.seed)
+        timeout_s=args.timeout, seed=args.seed, tracer=tracer)
+    if tracer is not None:
+        tracer.save(args.qlog)
+        print(f"qlog: {args.qlog} ({len(tracer.events)} events)")
     m = result.metrics
     print(f"scheme={scheme} completed={result.completed} "
           f"virtual_time={result.duration_s:.2f}s")
@@ -103,13 +116,44 @@ def cmd_race(args) -> int:
             print(f"unknown scheme: {scheme}", file=sys.stderr)
             return 2
         use = paths if SCHEMES[scheme].multipath else paths[:1]
+        tracer = None
+        if args.qlog and not SCHEMES[scheme].is_mptcp:
+            tracer = ConnectionTracer()
         result = run_bulk_download(scheme, use, args.bytes,
                                    timeout_s=args.timeout,
-                                   seed=args.seed)
+                                   seed=args.seed, tracer=tracer)
+        if tracer is not None:
+            base, ext = os.path.splitext(args.qlog)
+            tracer.save(f"{base}.{scheme}{ext or '.jsonl'}")
         time_s = result.download_time_s
         print(f"{scheme:<12} "
               f"{time_s:>12.3f}" if time_s is not None
               else f"{scheme:<12} {'timeout':>12}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    if args.scheme not in SCHEMES or SCHEMES[args.scheme].is_mptcp:
+        print(f"unknown or unsupported scheme for serve: {args.scheme}",
+              file=sys.stderr)
+        return 2
+    config = ContentionConfig(
+        sessions=args.sessions, scheme=args.scheme, seed=args.seed,
+        video_duration_s=args.duration,
+        cell_mean_mbps=args.cell_mbps, timeout_s=args.timeout)
+    result = run_contention(config)
+    print(f"sessions={config.sessions} scheme={args.scheme} "
+          f"completed={result.completed} "
+          f"virtual_time={result.duration_s:.2f}s")
+    if result.first_frame_latencies:
+        ffl = result.first_frame_latencies
+        print(f"first_frame_p50_ms={percentile(ffl, 50) * 1000:.0f} "
+              f"p95_ms={percentile(ffl, 95) * 1000:.0f}")
+    print(f"rebuffer_rate_pct={result.rebuffer_rate * 100:.2f}")
+    print(f"redundancy_pct={result.redundancy_percent:.1f}")
+    print(f"host: routed={result.datagrams_routed} "
+          f"dropped={result.datagrams_dropped}")
+    print(f"cell_down_mb={result.cell_down_bytes / 1e6:.2f}")
     return 0
 
 
@@ -164,6 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
     play.add_argument("--bitrate-mbps", type=float, default=2.0)
     play.add_argument("--buffer", type=float, default=3.0)
     play.add_argument("--timeout", type=float, default=120.0)
+    play.add_argument("--qlog", metavar="PATH",
+                      help="write a qlog-style event trace of the "
+                           "client connection to PATH")
     _add_network_args(play)
     play.set_defaults(func=cmd_play)
 
@@ -172,8 +219,23 @@ def build_parser() -> argparse.ArgumentParser:
                       default=["sp", "vanilla_mp", "xlink", "mptcp"])
     race.add_argument("--bytes", type=int, default=2_000_000)
     race.add_argument("--timeout", type=float, default=120.0)
+    race.add_argument("--qlog", metavar="PATH",
+                      help="write one qlog-style trace per scheme "
+                           "(PATH gets a .<scheme> suffix)")
     _add_network_args(race)
     race.set_defaults(func=cmd_race)
+
+    serve = sub.add_parser(
+        "serve", help="one CDN host, N sessions on a shared cell")
+    serve.add_argument("--sessions", type=int, default=8)
+    serve.add_argument("--scheme", default="xlink")
+    serve.add_argument("--duration", type=float, default=8.0,
+                       help="per-user video length (s)")
+    serve.add_argument("--cell-mbps", type=float, default=24.0,
+                       help="mean capacity of the shared LTE cell")
+    serve.add_argument("--timeout", type=float, default=240.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=cmd_serve)
 
     ab = sub.add_parser("ab", help="one A/B day vs single-path")
     ab.add_argument("--treatment", default="xlink")

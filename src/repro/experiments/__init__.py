@@ -10,11 +10,18 @@ from repro.experiments.harness import (PathSpec, SchemeConfig, SessionResult,
                                        run_video_session, run_bulk_download,
                                        SCHEMES)
 from repro.experiments.abtest import ABTestConfig, run_ab_day, run_ab_test
+from repro.experiments.contention import (ContentionConfig, ContentionResult,
+                                          run_contention,
+                                          run_contention_sweep)
 from repro.experiments.parallel import (SessionOutcome, SessionTask,
                                         available_workers, fan_out,
                                         run_session_tasks)
 
 __all__ = [
+    "ContentionConfig",
+    "ContentionResult",
+    "run_contention",
+    "run_contention_sweep",
     "PathSpec",
     "SchemeConfig",
     "SessionResult",

@@ -1,0 +1,201 @@
+"""The session runtime: N concurrent sessions against one ServerHost.
+
+This is the layered endpoint architecture the experiments run on:
+
+    MultipathNetwork -- emulated paths (shared-link attachment for
+        multi-user cells)
+    CdnFrontend      -- the QUIC-LB front door; consistent-hashes
+        handshake DCIDs and routes server-ID-embedding CIDs, exactly
+        the Sec. 6 deployment shape
+    ServerHost       -- one CDN node; demultiplexes datagrams to
+        per-connection state, serves all of them from one shared
+        MediaServer catalog
+    ClientEndpoint   -- one user's device; connection + player + CM
+        monitor behind explicit hooks
+
+``repro.experiments.harness.run_video_session`` is the N=1 case of
+this runtime (bit-identical to the pre-runtime harness by test);
+``repro.experiments.contention`` is the N>1 shared-cell case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.host.client import ClientEndpoint
+from repro.host.server import ServerHost
+from repro.host.specs import SCHEMES, SchemeConfig
+from repro.lb.frontend import CdnFrontend
+from repro.metrics.qoe import SessionMetrics
+from repro.netem import MultipathNetwork
+from repro.quic.connection import Connection
+from repro.quic.trace import ConnectionTracer
+from repro.sim import EventLoop
+from repro.traces.radio_profiles import RadioType
+from repro.video import PlayerConfig, VideoPlayer
+from repro.video.media import Video
+
+
+@dataclass
+class SessionResult:
+    """Everything a bench may want from one finished session."""
+
+    scheme: str
+    completed: bool
+    duration_s: float
+    metrics: SessionMetrics
+    #: raw objects for deep inspection
+    player: Optional[VideoPlayer] = None
+    client: Optional[Connection] = None
+    server: Optional[Connection] = None
+    net: Optional[MultipathNetwork] = None
+    #: bulk-download completion time (bulk mode only)
+    download_time_s: Optional[float] = None
+    reinjected_bytes: int = 0
+    new_stream_bytes: int = 0
+
+    @property
+    def redundancy_percent(self) -> float:
+        if self.new_stream_bytes == 0:
+            return 0.0
+        return self.reinjected_bytes / self.new_stream_bytes * 100.0
+
+
+@dataclass
+class VideoSessionSpec:
+    """Everything needed to stand up one video session on the runtime."""
+
+    scheme_name: str
+    interfaces: Sequence[Tuple[int, RadioType]]
+    video: Video
+    player_config: Optional[PlayerConfig] = None
+    seed: int = 0
+    primary_order: Optional[Sequence[RadioType]] = None
+    #: client endpoint name; ``None`` uses the network's default client
+    client_addr: Optional[str] = None
+    #: shared-secret identity; ``None`` derives ``session-<seed>``
+    connection_name: Optional[str] = None
+    #: virtual time at which the session connects
+    start_at: float = 0.0
+    #: optional qlog-style tracer installed on the client connection
+    tracer: Optional[ConnectionTracer] = None
+
+
+@dataclass
+class SessionHandle:
+    """A live session inside the runtime."""
+
+    spec: VideoSessionSpec
+    client: ClientEndpoint
+    server: Connection
+    player: VideoPlayer
+
+    @property
+    def finished(self) -> bool:
+        return self.player.finished
+
+
+class SessionRuntime:
+    """Drives N concurrent video sessions through one ServerHost."""
+
+    def __init__(self, loop: EventLoop, net: MultipathNetwork,
+                 videos: Optional[Dict[str, Video]] = None,
+                 server_id: int = 1,
+                 use_frontend: bool = True) -> None:
+        self.loop = loop
+        self.net = net
+        self.host = ServerHost(loop, net, videos=videos,
+                               server_id=server_id)
+        self.frontend: Optional[CdnFrontend] = None
+        if use_frontend:
+            self.frontend = CdnFrontend({server_id: self.host})
+            self.frontend.attach(net.server)
+        else:
+            self.host.listen()
+        self.sessions: List[SessionHandle] = []
+
+    def add_session(self, spec: VideoSessionSpec) -> SessionHandle:
+        """Provision both endpoints of one session.
+
+        A session starting at ``start_at == 0`` connects immediately;
+        later starts are scheduled on the loop (staggered arrivals).
+        """
+        scheme = SCHEMES[spec.scheme_name]
+        if scheme.is_mptcp:
+            raise ValueError("the MPTCP baseline does not run on the "
+                             "QUIC host runtime")
+        if spec.client_addr is None:
+            endpoint = self.net.client
+        else:
+            endpoint = self.net.clients.get(spec.client_addr)
+            if endpoint is None:
+                endpoint = self.net.add_client(spec.client_addr)
+        connection_name = (spec.connection_name
+                           if spec.connection_name is not None
+                           else f"session-{spec.seed}")
+
+        client = ClientEndpoint(self.loop, endpoint, scheme,
+                                spec.interfaces, seed=spec.seed,
+                                connection_name=connection_name,
+                                primary_order=spec.primary_order)
+        server = self.host.register_session(
+            endpoint.name, connection_name, scheme, spec.seed,
+            client.primary_net, radio=client.primary_radio,
+            first_frame_acceleration=scheme.first_frame_acceleration)
+        self._add_to_catalog(spec.video)
+        player = client.attach_player(spec.video, spec.player_config)
+        if spec.tracer is not None:
+            spec.tracer.install(client.conn)
+        if spec.start_at <= 0:
+            client.start()
+        else:
+            self.loop.schedule_at(spec.start_at, client.start,
+                                  label="session-start")
+        handle = SessionHandle(spec=spec, client=client, server=server,
+                               player=player)
+        self.sessions.append(handle)
+        return handle
+
+    def _add_to_catalog(self, video: Video) -> None:
+        existing = self.host.media.videos.get(video.name)
+        if existing is None:
+            self.host.media.add_video(video)
+        elif existing is not video:
+            raise ValueError(
+                f"catalog already holds a different video named "
+                f"{video.name!r}")
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    @property
+    def all_finished(self) -> bool:
+        return all(h.finished for h in self.sessions)
+
+    def run(self, timeout_s: float = 120.0) -> None:
+        """Step the loop until every session's playback finishes."""
+        loop = self.loop
+        while not self.all_finished and loop.now < timeout_s:
+            if not loop.step():
+                break
+
+    def result(self, handle: SessionHandle) -> SessionResult:
+        """Assemble the metrics bundle for one session."""
+        server = handle.server
+        metrics = SessionMetrics.from_player(
+            handle.player.stats,
+            redundant_bytes=server.stats.stream_bytes_reinjected,
+            useful_bytes=server.stats.stream_bytes_new)
+        return SessionResult(
+            scheme=handle.spec.scheme_name,
+            completed=handle.player.finished,
+            duration_s=self.loop.now, metrics=metrics,
+            player=handle.player, client=handle.client.conn,
+            server=server, net=self.net,
+            reinjected_bytes=server.stats.stream_bytes_reinjected,
+            new_stream_bytes=server.stats.stream_bytes_new)
+
+    def results(self) -> List[SessionResult]:
+        return [self.result(h) for h in self.sessions]

@@ -1,0 +1,162 @@
+"""The server-side endpoint runtime: one emulated CDN node.
+
+A :class:`ServerHost` owns the server network endpoint and serves many
+concurrent QUIC connections from one shared :class:`MediaServer`
+catalog, the way one XLINK real server behind the QUIC-LB front door
+serves many users (Sec. 6).  Incoming datagrams are demultiplexed to
+per-connection state by DCID:
+
+- *Handshake* packets carry a client-chosen random DCID the host has
+  never issued.  The first one from a client address pins that DCID to
+  the connection registered for the address (the emulator's stand-in
+  for the UDP 4-tuple), so handshake retransmits keep routing stably.
+- *Short-header* packets carry a host-issued CID; the host resolves it
+  against its connections' CID registries (caching the mapping), which
+  is exactly how all paths of one multipath connection -- each path on
+  a different CID -- land on the same per-connection state.
+
+Datagrams that resolve to no connection are dropped and classified:
+``misrouted`` (the CID embeds another host's server-ID byte -- the
+load balancer sent it to the wrong place), ``unknown_cid`` (our
+server-ID byte but no matching connection), or ``post_close`` (the
+connection already closed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.host.specs import SchemeConfig, make_scheduler
+from repro.netem import Datagram, MultipathNetwork
+from repro.quic.cid import SERVER_ID_OFFSET
+from repro.quic.connection import Connection, ConnectionConfig
+from repro.quic.packets import PacketType, decode_header
+from repro.sim import EventLoop
+from repro.traces.radio_profiles import RadioType
+from repro.video import MediaServer
+from repro.video.media import Video
+
+
+class ServerHost:
+    """One emulated CDN node serving many concurrent connections."""
+
+    def __init__(self, loop: EventLoop, net: MultipathNetwork,
+                 videos: Optional[Dict[str, Video]] = None,
+                 server_id: int = 1, name: Optional[str] = None,
+                 first_frame_acceleration: bool = True) -> None:
+        self.loop = loop
+        self.net = net
+        self.server_id = server_id
+        self.name = name if name is not None else f"host-{server_id}"
+        #: the shared media catalog every connection is served from
+        self.media = MediaServer(
+            videos=dict(videos or {}),
+            first_frame_acceleration=first_frame_acceleration)
+        self.connections: List[Connection] = []
+        self._by_addr: Dict[str, Connection] = {}
+        #: client handshake DCID -> connection (pinned on first sight)
+        self._initial_route: Dict[bytes, Connection] = {}
+        #: host-issued CID bytes -> connection (filled lazily)
+        self._cid_route: Dict[bytes, Connection] = {}
+        self.datagrams_routed = 0
+        self.datagrams_dropped = 0
+        self.misrouted = 0
+        self.unknown_cid = 0
+        self.post_close_drops = 0
+
+    # ------------------------------------------------------------------
+    # session provisioning
+    # ------------------------------------------------------------------
+
+    def listen(self) -> None:
+        """Receive directly from the network's server endpoint.
+
+        Single-host deployments may skip the :class:`CdnFrontend`; the
+        runtime normally wires the frontend in between instead.
+        """
+        self.net.server.on_receive(self.on_datagram)
+
+    def register_session(self, client_addr: str, connection_name: str,
+                         scheme: SchemeConfig, seed: int,
+                         primary_net: int,
+                         radio: Optional[RadioType] = None,
+                         first_frame_acceleration: Optional[bool] = None
+                         ) -> Connection:
+        """Provision the server side of one expected session.
+
+        Creates the per-connection state (transport config mirrors the
+        scheme, path 0 bound to the client's primary interface),
+        addresses its egress to ``client_addr``, and attaches it to the
+        shared media catalog.  Returns the server connection.
+        """
+        if client_addr in self._by_addr:
+            raise ValueError(f"address {client_addr!r} already registered")
+        conn = Connection(
+            self.loop,
+            ConnectionConfig(is_client=False,
+                             enable_multipath=scheme.multipath,
+                             cc_algorithm=scheme.cc_algorithm,
+                             ack_path_policy=scheme.ack_path_policy,
+                             seed=seed),
+            transmit=self._transmit_to(client_addr),
+            scheduler=make_scheduler(scheme),
+            connection_name=connection_name,
+            server_id=self.server_id)
+        conn.add_local_path(0, primary_net, radio=radio)
+        self.media.attach(
+            conn, first_frame_acceleration=first_frame_acceleration)
+        self.connections.append(conn)
+        self._by_addr[client_addr] = conn
+        return conn
+
+    def _transmit_to(self, client_addr: str) -> Callable[[int, bytes], None]:
+        endpoint = self.net.server
+
+        def transmit(net_path_id: int, payload: bytes) -> None:
+            endpoint.send(Datagram(payload=payload, path_id=net_path_id,
+                                   dst=client_addr))
+
+        return transmit
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+
+    def on_datagram(self, dgram: Datagram) -> None:
+        """Demultiplex one incoming datagram to its connection."""
+        conn = self.route_connection(dgram)
+        if conn is None:
+            self.datagrams_dropped += 1
+            return
+        if conn.closed:
+            self.post_close_drops += 1
+            self.datagrams_dropped += 1
+            return
+        self.datagrams_routed += 1
+        conn.datagram_received(dgram.payload, dgram.path_id)
+
+    def route_connection(self, dgram: Datagram) -> Optional[Connection]:
+        """Resolve the connection a datagram belongs to, or ``None``."""
+        try:
+            header, _offset = decode_header(dgram.payload)
+        except Exception:
+            return None
+        if header.packet_type is PacketType.HANDSHAKE:
+            conn = self._initial_route.get(header.dcid)
+            if conn is None:
+                conn = self._by_addr.get(dgram.src)
+                if conn is not None:
+                    self._initial_route[header.dcid] = conn
+            return conn
+        conn = self._cid_route.get(header.dcid)
+        if conn is not None:
+            return conn
+        for candidate in self.connections:
+            if candidate.cids.lookup_issued(header.dcid) is not None:
+                self._cid_route[header.dcid] = candidate
+                return candidate
+        if header.dcid and header.dcid[SERVER_ID_OFFSET] != self.server_id:
+            self.misrouted += 1
+        else:
+            self.unknown_cid += 1
+        return None

@@ -1,0 +1,130 @@
+"""Session vocabulary shared by the host runtime and the experiments.
+
+========== =============================================================
+scheme      configuration
+========== =============================================================
+sp          single-path QUIC on the primary interface
+cm          single-path QUIC with connection migration (probe + cwnd
+            reset) -- the CM baseline of Fig. 13
+vanilla_mp  multipath QUIC, min-RTT scheduler, no re-injection
+            (MPQUIC default; Sec. 3)
+reinject    XLINK re-injection *without* QoE control (always on) --
+            the 15%-overhead configuration of Sec. 5.2
+xlink       full XLINK: priority-based re-injection gated by the
+            double-threshold QoE controller
+xlink_nofa  XLINK without first-video-frame acceleration (Fig. 12's
+            ablation)
+mptcp       the MPTCP baseline (bulk transfers; single ordered stream)
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from repro.core import (MinRttScheduler, ReinjectionMode, SinglePathScheduler,
+                        ThresholdConfig, XlinkScheduler)
+from repro.netem import MultipathNetwork, OutageSchedule
+from repro.sim import EventLoop
+from repro.sim.rng import make_rng
+from repro.traces.radio_profiles import RadioType
+
+
+@dataclass
+class PathSpec:
+    """One emulated network path."""
+
+    net_path_id: int
+    radio: RadioType
+    one_way_delay_s: float
+    rate_bps: Optional[float] = None
+    trace_ms: Optional[List[int]] = None
+    loss_rate: float = 0.0
+    queue_limit_bytes: int = 192 * 1024
+    outages: Optional[OutageSchedule] = None
+
+    def __post_init__(self) -> None:
+        if (self.rate_bps is None) == (self.trace_ms is None):
+            raise ValueError("specify exactly one of rate_bps / trace_ms")
+
+
+class Interface(NamedTuple):
+    """A client NIC: which emulated path it attaches to, and its radio.
+
+    Unpacks like a plain ``(net_path_id, radio)`` tuple, so it is
+    accepted anywhere the path manager expects interface pairs.
+    """
+
+    net_path_id: int
+    radio: RadioType
+
+
+@dataclass
+class SchemeConfig:
+    """Resolved transport configuration for one scheme."""
+
+    name: str
+    multipath: bool
+    reinjection_mode: ReinjectionMode = ReinjectionMode.NONE
+    thresholds: Optional[ThresholdConfig] = None
+    connection_migration: bool = False
+    first_frame_acceleration: bool = True
+    ack_path_policy: str = "fastest"
+    cc_algorithm: str = "cubic"
+    is_mptcp: bool = False
+
+
+def _xlink_scheme(name: str, **kw) -> SchemeConfig:
+    base = dict(multipath=True,
+                reinjection_mode=ReinjectionMode.FRAME_PRIORITY,
+                thresholds=ThresholdConfig(t_th1=0.5, t_th2=2.0))
+    base.update(kw)
+    return SchemeConfig(name=name, **base)
+
+
+SCHEMES: Dict[str, SchemeConfig] = {
+    "sp": SchemeConfig(name="sp", multipath=False),
+    "cm": SchemeConfig(name="cm", multipath=False,
+                       connection_migration=True),
+    "vanilla_mp": SchemeConfig(name="vanilla_mp", multipath=True,
+                               reinjection_mode=ReinjectionMode.NONE),
+    "reinject": _xlink_scheme(
+        "reinject", thresholds=ThresholdConfig(always_on=True)),
+    "xlink": _xlink_scheme("xlink"),
+    "xlink_nofa": _xlink_scheme(
+        "xlink_nofa", reinjection_mode=ReinjectionMode.STREAM_PRIORITY,
+        first_frame_acceleration=False),
+    "mptcp": SchemeConfig(name="mptcp", multipath=True, is_mptcp=True),
+}
+
+
+def make_scheduler(scheme: SchemeConfig):
+    """The packet scheduler both endpoints of a scheme run."""
+    if not scheme.multipath:
+        return SinglePathScheduler()
+    if scheme.reinjection_mode is ReinjectionMode.NONE:
+        return MinRttScheduler()
+    return XlinkScheduler(mode=scheme.reinjection_mode,
+                          thresholds=scheme.thresholds)
+
+
+def build_network(loop: EventLoop, paths: Sequence[PathSpec],
+                  seed: int) -> MultipathNetwork:
+    """Instantiate the emulated paths of a session network."""
+    net = MultipathNetwork(loop)
+    for spec in paths:
+        rng = make_rng(seed, f"path-{spec.net_path_id}")
+        if spec.trace_ms is not None:
+            net.add_trace_path(
+                spec.net_path_id, spec.trace_ms, spec.one_way_delay_s,
+                loss_rate=spec.loss_rate,
+                queue_limit_bytes=spec.queue_limit_bytes,
+                outages=spec.outages, rng=rng)
+        else:
+            net.add_simple_path(
+                spec.net_path_id, spec.rate_bps, spec.one_way_delay_s,
+                loss_rate=spec.loss_rate,
+                queue_limit_bytes=spec.queue_limit_bytes,
+                outages=spec.outages, rng=rng)
+    return net

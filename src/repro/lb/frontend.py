@@ -50,7 +50,13 @@ class CdnFrontend:
             self.datagrams_dropped += 1
             return
         self.datagrams_routed += 1
-        backend.datagram_received(dgram.payload, dgram.path_id)
+        deliver = getattr(backend, "on_datagram", None)
+        if deliver is not None:
+            # Multi-connection backend (a ServerHost): it demultiplexes
+            # per-connection state itself and needs the full datagram.
+            deliver(dgram)
+        else:
+            backend.datagram_received(dgram.payload, dgram.path_id)
 
     def route_backend(self, payload: bytes):
         """Resolve the backend Connection for a datagram."""

@@ -112,7 +112,16 @@ class EmulatedPath:
 
 
 class MultipathNetwork:
-    """N emulated paths between a client and a server (mpshell)."""
+    """N emulated paths between client hosts and a server (mpshell).
+
+    The classic shape is one client and one server.  For multi-user
+    contention workloads, :meth:`add_client` attaches additional client
+    endpoints to the *same* set of paths: every endpoint's datagrams
+    share each path's link capacity and queue (one cell, many users),
+    and downlink delivery is dispatched by the datagram's ``dst``
+    address.  A datagram without a known ``dst`` goes to the default
+    client, which keeps single-session usage unchanged.
+    """
 
     def __init__(self, loop: EventLoop, client_name: str = "client",
                  server_name: str = "server") -> None:
@@ -122,6 +131,22 @@ class MultipathNetwork:
         self.paths: Dict[int, EmulatedPath] = {}
         self.client._send_fn = self._from_client
         self.server._send_fn = self._from_server
+        #: all client endpoints by name (shared-link attachment)
+        self.clients: Dict[str, Endpoint] = {client_name: self.client}
+
+    def add_client(self, name: str) -> Endpoint:
+        """Attach another client host to the shared paths.
+
+        The new endpoint sends into the same per-path links as every
+        other client (contending for capacity and queue space) and
+        receives the downlink datagrams addressed to ``name``.
+        """
+        if name in self.clients or name == self.server.name:
+            raise ValueError(f"duplicate endpoint name {name!r}")
+        endpoint = Endpoint(name)
+        endpoint._send_fn = self._from_client
+        self.clients[name] = endpoint
+        return endpoint
 
     def add_path(self, path: EmulatedPath) -> None:
         if path.path_id in self.paths:
@@ -141,7 +166,7 @@ class MultipathNetwork:
 
         path = EmulatedPath(
             self.loop, path_id, factory, factory, one_way_delay_s,
-            deliver_to_client=self.client._deliver,
+            deliver_to_client=self._deliver_client,
             deliver_to_server=self.server._deliver,
             loss_rate=loss_rate, outages=outages, rng=rng,
         )
@@ -169,12 +194,17 @@ class MultipathNetwork:
 
         path = EmulatedPath(
             self.loop, path_id, up_factory, down_factory, one_way_delay_s,
-            deliver_to_client=self.client._deliver,
+            deliver_to_client=self._deliver_client,
             deliver_to_server=self.server._deliver,
             loss_rate=loss_rate, outages=outages, rng=rng,
         )
         self.add_path(path)
         return path
+
+    def _deliver_client(self, dgram: Datagram) -> None:
+        """Dispatch a downlink datagram to the addressed client."""
+        endpoint = self.clients.get(dgram.dst)
+        (endpoint if endpoint is not None else self.client)._deliver(dgram)
 
     def _from_client(self, dgram: Datagram) -> None:
         path = self.paths.get(dgram.path_id)
@@ -187,7 +217,10 @@ class MultipathNetwork:
         path = self.paths.get(dgram.path_id)
         if path is None:
             raise KeyError(f"no path {dgram.path_id}")
-        dgram.dst = self.client.name
+        if dgram.dst not in self.clients:
+            # Unaddressed (or unknown) traffic goes to the default
+            # client -- the single-session wiring never sets ``dst``.
+            dgram.dst = self.client.name
         path.send_from_server(dgram)
 
     def total_down_bytes(self) -> int:

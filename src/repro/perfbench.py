@@ -9,6 +9,9 @@ Four measurements track the simulator's hot paths across PRs:
   batched same-slot delivery path);
 - ``session_xlink``: wall-clock seconds for one reference ``xlink``
   video session (the end-to-end unit every population driver repeats);
+- ``multi_session``: sessions/sec of one :class:`ServerHost` driving
+  N=16 concurrent sessions on a shared cell (the host-runtime demux
+  and shared-link machinery under load);
 - ``ab_day_parallel``: wall-clock of one A/B day serial vs fanned out
   over the process pool, plus the speedup ratio and a checksum-style
   equality flag for the determinism contract.
@@ -114,6 +117,25 @@ def bench_reference_session(seed: int = 7) -> Dict[str, Any]:
     }
 
 
+def bench_multi_session(sessions: int = 16, seed: int = 11) -> Dict[str, Any]:
+    """Sessions/sec of one ServerHost serving N concurrent sessions."""
+    from repro.experiments.contention import ContentionConfig, run_contention
+    config = ContentionConfig(sessions=sessions, seed=seed,
+                              video_duration_s=4.0)
+    t0 = time.perf_counter()
+    result = run_contention(config)
+    elapsed = time.perf_counter() - t0
+    return {
+        "sessions": sessions,
+        "seconds": elapsed,
+        "sessions_per_sec": sessions / elapsed if elapsed > 0 else 0.0,
+        "completed": result.completed,
+        "virtual_seconds": result.duration_s,
+        "datagrams_routed": result.datagrams_routed,
+        "datagrams_dropped": result.datagrams_dropped,
+    }
+
+
 def bench_parallel_ab_day(users_per_day: int = 10,
                           workers: Optional[int] = None,
                           seed: int = 3) -> Dict[str, Any]:
@@ -164,6 +186,7 @@ def collect(n_events: int = 200_000, n_packets: int = 50_000,
             "event_loop": bench_event_loop(n_events),
             "trace_link": bench_trace_link(n_packets),
             "session_xlink": bench_reference_session(),
+            "multi_session": bench_multi_session(),
             "ab_day_parallel": bench_parallel_ab_day(ab_users,
                                                      workers=workers),
         },
@@ -222,6 +245,9 @@ def format_report(report: Dict[str, Any]) -> str:
         f"trace_link      {b['trace_link']['packets_per_sec']:>12,.0f} packets/sec",
         f"session_xlink   {b['session_xlink']['seconds']:>12.3f} s wall-clock "
         f"({b['session_xlink']['virtual_per_wall']:.1f}x realtime)",
+        f"multi_session   {b['multi_session']['sessions_per_sec']:>12.2f} "
+        f"sessions/sec (N={b['multi_session']['sessions']}, "
+        f"{b['multi_session']['completed']} completed)",
         f"ab_day          {ab['serial_seconds']:>12.3f} s serial / "
         f"{ab['parallel_seconds']:.3f} s x{ab['workers']} workers "
         f"(speedup {ab['speedup']:.2f}, "

@@ -196,6 +196,20 @@ class Connection:
         self.on_stream_data: Optional[Callable[[int], None]] = None
         self.on_stream_complete: Optional[Callable[[int], None]] = None
 
+        #: observer hooks -- the supported way to watch a connection
+        #: without wrapping its methods (tracers, CM monitors, hosts).
+        #: Receive hooks fire on every datagram handed to
+        #: :meth:`datagram_received`, before any processing (even on a
+        #: closed connection, matching an on-the-wire tap); transmit
+        #: hooks fire just before a datagram leaves via ``transmit``.
+        self.receive_hooks: List[Callable[[bytes, int], None]] = []
+        self.transmit_hooks: List[Callable[[int, bytes], None]] = []
+        #: fired when a re-injection chunk is actually enqueued
+        self.reinjection_hooks: List[Callable[[SendChunk, Optional[int]],
+                                              None]] = []
+        #: fired on every QoE feedback signal from the peer
+        self.qoe_hooks: List[Callable[[QoeSignals], None]] = []
+
         self._timer_event = None
         self._ack_timer_event = None
         self._pending_control: Dict[int, List[object]] = {}
@@ -203,6 +217,33 @@ class Connection:
         self._handshake_retransmit_event = None
         self._eliciting_since_ack: Dict[int, int] = {}
         self._next_challenge = 0
+
+    # ------------------------------------------------------------------
+    # observer hooks
+    # ------------------------------------------------------------------
+
+    def add_receive_hook(self, hook: Callable[[bytes, int], None]) -> None:
+        """Observe incoming datagrams: ``hook(payload, net_path_id)``."""
+        self.receive_hooks.append(hook)
+
+    def add_transmit_hook(self, hook: Callable[[int, bytes], None]) -> None:
+        """Observe outgoing datagrams: ``hook(net_path_id, payload)``."""
+        self.transmit_hooks.append(hook)
+
+    def add_reinjection_hook(
+            self, hook: Callable[["SendChunk", Optional[int]], None]) -> None:
+        """Observe enqueued re-injections: ``hook(chunk, position)``."""
+        self.reinjection_hooks.append(hook)
+
+    def add_qoe_hook(self, hook: Callable[[QoeSignals], None]) -> None:
+        """Observe peer QoE feedback: ``hook(qoe)``."""
+        self.qoe_hooks.append(hook)
+
+    def _emit(self, net_path_id: int, payload: bytes) -> None:
+        """Hand a datagram to the network, notifying transmit hooks."""
+        for hook in self.transmit_hooks:
+            hook(net_path_id, payload)
+        self.transmit(net_path_id, payload)
 
     # ------------------------------------------------------------------
     # path setup
@@ -398,7 +439,7 @@ class Connection:
         self.stats.packets_sent += 1
         path.packets_sent += 1
         path.bytes_sent += len(aad) + len(sealed)
-        self.transmit(self.net_path_of[0], aad + sealed)
+        self._emit(self.net_path_of[0], aad + sealed)
         if self.config.is_client and not self.established:
             self._handshake_retransmit_event = self.loop.schedule_after(
                 1.0, self._handshake_timeout, label="hs-rtx")
@@ -552,6 +593,8 @@ class Connection:
 
     def datagram_received(self, payload: bytes, net_path_id: int = -1) -> None:
         """Entry point for datagrams from the emulated network."""
+        for hook in self.receive_hooks:
+            hook(payload, net_path_id)
         if self.closed:
             return
         header, offset = decode_header(payload)
@@ -685,6 +728,8 @@ class Connection:
                 path.state = PathState.ACTIVE
 
     def _on_qoe(self, qoe: QoeSignals) -> None:
+        for hook in self.qoe_hooks:
+            hook(qoe)
         self.last_qoe = qoe
         self.last_qoe_time = self.loop.now
         if self.scheduler is not None and hasattr(self.scheduler, "on_qoe"):
@@ -944,7 +989,7 @@ class Connection:
         path.packets_sent += 1
         path.bytes_sent += len(wire)
         self.stats.packets_sent += 1
-        self.transmit(self.net_path_of[path.path_id], wire)
+        self._emit(self.net_path_of[path.path_id], wire)
 
     # ------------------------------------------------------------------
     # re-injection support (called by XLINK scheduler)
@@ -1015,6 +1060,8 @@ class Connection:
             self.send_queue.append(chunk)
         else:
             self.send_queue.insert(position, chunk)
+        for hook in self.reinjection_hooks:
+            hook(chunk, position)
 
     def max_delivery_time(self) -> float:
         """Eq. 1: estimated max delivery time of in-flight packets.

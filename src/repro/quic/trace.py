@@ -35,8 +35,9 @@ class TraceEvent:
 class ConnectionTracer:
     """Collects :class:`TraceEvent` records from one connection.
 
-    Attach with :meth:`install`; the tracer wraps the connection's
-    transmit callback and key event handlers non-invasively.
+    Attach with :meth:`install`; the tracer registers observer hooks
+    (``add_transmit_hook`` / ``add_receive_hook`` / ...) on the
+    connection -- nothing is monkey-patched.
     """
 
     def __init__(self, max_events: int = 1_000_000) -> None:
@@ -58,53 +59,41 @@ class ConnectionTracer:
     # -- installation -------------------------------------------------------
 
     def install(self, conn) -> None:
-        """Hook a :class:`repro.quic.connection.Connection`."""
+        """Observe a :class:`repro.quic.connection.Connection`.
+
+        Registers on the connection's observer-hook API (transmit,
+        receive, re-injection, QoE); nothing on the connection is
+        wrapped or replaced, so any number of observers can coexist.
+        """
         if self._conn is not None:
             raise RuntimeError("tracer already installed")
         self._conn = conn
 
-        original_transmit = conn.transmit
-
-        def traced_transmit(net_path_id: int, payload: bytes) -> None:
+        def on_transmit(net_path_id: int, payload: bytes) -> None:
             self.record(conn.loop.now, "packet", "datagram_sent",
                         net_path=net_path_id, size=len(payload))
-            original_transmit(net_path_id, payload)
 
-        conn.transmit = traced_transmit
-
-        original_receive = conn.datagram_received
-
-        def traced_receive(payload: bytes, net_path_id: int = -1) -> None:
+        def on_receive(payload: bytes, net_path_id: int = -1) -> None:
             self.record(conn.loop.now, "packet", "datagram_received",
                         net_path=net_path_id, size=len(payload))
-            original_receive(payload, net_path_id)
 
-        conn.datagram_received = traced_receive
+        def on_reinjection(chunk, position) -> None:
+            self.record(conn.loop.now, "recovery", "reinjection",
+                        stream_id=chunk.stream_id,
+                        offset=chunk.offset, length=chunk.length,
+                        exclude_path=chunk.exclude_path,
+                        position=position)
 
-        original_reinject = conn.enqueue_reinjection
-
-        def traced_reinject(chunk, position=None) -> None:
-            before = len(conn.send_queue)
-            original_reinject(chunk, position=position)
-            if len(conn.send_queue) != before:
-                self.record(conn.loop.now, "recovery", "reinjection",
-                            stream_id=chunk.stream_id,
-                            offset=chunk.offset, length=chunk.length,
-                            exclude_path=chunk.exclude_path,
-                            position=position)
-
-        conn.enqueue_reinjection = traced_reinject
-
-        original_qoe = conn._on_qoe
-
-        def traced_qoe(qoe) -> None:
+        def on_qoe(qoe) -> None:
             self.record(conn.loop.now, "qoe", "feedback_received",
                         cached_bytes=qoe.cached_bytes,
                         cached_frames=qoe.cached_frames,
                         bps=qoe.bps, fps=qoe.fps)
-            original_qoe(qoe)
 
-        conn._on_qoe = traced_qoe
+        conn.add_transmit_hook(on_transmit)
+        conn.add_receive_hook(on_receive)
+        conn.add_reinjection_hook(on_reinjection)
+        conn.add_qoe_hook(on_qoe)
 
     # -- queries --------------------------------------------------------------
 

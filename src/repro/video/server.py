@@ -1,16 +1,23 @@
 """CDN-edge media server application.
 
-Listens on a server-side QUIC connection, parses HTTP range requests
-arriving on streams, and answers each with a response header plus the
-requested byte range.  When first-video-frame acceleration is enabled
-and the range contains the start of the video, the server marks the
-first frame's bytes with ``FIRST_FRAME_PRIORITY`` via the
-``stream_send`` priority API (Sec. 5.1, Fig. 4c).
+Parses HTTP range requests arriving on QUIC streams and answers each
+with a response header plus the requested byte range.  When
+first-video-frame acceleration is enabled and the range contains the
+start of the video, the server marks the first frame's bytes with
+``FIRST_FRAME_PRIORITY`` via the ``stream_send`` priority API
+(Sec. 5.1, Fig. 4c).
+
+One :class:`MediaServer` holds one video catalog and can serve any
+number of concurrent connections (the paper's CDN node handles 100K+
+users per machine): :meth:`attach` registers a server-side connection,
+and per-connection request state is tracked separately.  The legacy
+one-connection constructor form ``MediaServer(conn, videos)`` still
+works and simply attaches ``conn``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.quic.connection import Connection
 from repro.quic.stream import FIRST_FRAME_PRIORITY
@@ -19,38 +26,67 @@ from repro.video.media import Video
 
 
 class MediaServer:
-    """Serves one or more videos over a server-side connection."""
+    """Serves a video catalog over any number of server connections."""
 
-    def __init__(self, conn: Connection, videos: Dict[str, Video],
+    def __init__(self, conn: Optional[Connection] = None,
+                 videos: Optional[Dict[str, Video]] = None,
                  first_frame_acceleration: bool = True) -> None:
-        self.conn = conn
-        self.videos = dict(videos)
+        self.videos: Dict[str, Video] = dict(videos or {})
         self.first_frame_acceleration = first_frame_acceleration
-        self._request_buf: Dict[int, bytearray] = {}
+        #: (connection, stream_id) -> partial request bytes
+        self._request_buf: Dict[Tuple[int, int], bytearray] = {}
         self._answered: set = set()
+        #: attached connections by id() -> (conn, effective FFA flag)
+        self._attached: Dict[int, Tuple[Connection, bool]] = {}
         self.requests_served = 0
-        conn.on_stream_data = self._on_stream_data
+        if conn is not None:
+            self.attach(conn)
+
+    @property
+    def connections(self) -> int:
+        """Number of attached server connections."""
+        return len(self._attached)
+
+    def attach(self, conn: Connection,
+               first_frame_acceleration: Optional[bool] = None) -> None:
+        """Serve the catalog on ``conn``.
+
+        ``first_frame_acceleration`` overrides the server default for
+        this connection (schemes like ``xlink_nofa`` disable it while
+        other sessions on the same host keep it).
+        """
+        if id(conn) in self._attached:
+            raise ValueError("connection already attached")
+        ffa = (self.first_frame_acceleration
+               if first_frame_acceleration is None
+               else first_frame_acceleration)
+        self._attached[id(conn)] = (conn, ffa)
+        conn.on_stream_data = (
+            lambda stream_id, _conn=conn: self._on_stream_data(_conn,
+                                                               stream_id))
 
     def add_video(self, video: Video) -> None:
         self.videos[video.name] = video
 
-    def _on_stream_data(self, stream_id: int) -> None:
-        if stream_id in self._answered:
+    def _on_stream_data(self, conn: Connection, stream_id: int) -> None:
+        key = (id(conn), stream_id)
+        if key in self._answered:
             return
-        buf = self._request_buf.setdefault(stream_id, bytearray())
-        buf.extend(self.conn.stream_read(stream_id))
+        buf = self._request_buf.setdefault(key, bytearray())
+        buf.extend(conn.stream_read(stream_id))
         request = parse_request(bytes(buf))
         if request is None:
             return
-        self._answered.add(stream_id)
-        del self._request_buf[stream_id]
-        self._serve(stream_id, request)
+        self._answered.add(key)
+        del self._request_buf[key]
+        self._serve(conn, stream_id, request)
 
-    def _serve(self, stream_id: int, request) -> None:
+    def _serve(self, conn: Connection, stream_id: int, request) -> None:
         video = self.videos.get(request.video_name)
         if video is None:
-            self.conn.stream_send(stream_id, b"", fin=True)
+            conn.stream_send(stream_id, b"", fin=True)
             return
+        _conn, ffa = self._attached[id(conn)]
         start = max(request.start, 0)
         end = min(request.end, video.total_bytes)
         meta = RangeResponseMeta(total_size=video.total_bytes,
@@ -61,18 +97,18 @@ class MediaServer:
         # earlier content is more urgent (Fig. 4b semantics).
         stream_priority = start // max(video.chunk_size, 1)
         first_frame_end = video.first_frame_size
-        if (self.first_frame_acceleration and start < first_frame_end):
+        if ffa and start < first_frame_end:
             # Mark the first video frame's bytes at the highest priority.
             # Positions are relative to this stream's payload.
             ff_start = RangeResponseMeta.HEADER_LEN  # frame starts after meta
             ff_len = min(end, first_frame_end) - start
-            self.conn.stream_send(
+            conn.stream_send(
                 stream_id, payload, fin=True, priority=stream_priority,
                 frame_priority=FIRST_FRAME_PRIORITY,
                 position=ff_start, size=ff_len)
         else:
-            self.conn.stream_send(stream_id, payload, fin=True,
-                                  priority=stream_priority)
+            conn.stream_send(stream_id, payload, fin=True,
+                             priority=stream_priority)
         self.requests_served += 1
 
     @staticmethod

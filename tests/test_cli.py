@@ -76,3 +76,35 @@ class TestCommands:
 
     def test_mobility_bad_trace_id(self):
         assert main(["mobility", "--trace", "99"]) == 2
+
+    def test_serve_multi_session(self, capsys):
+        code = main(["serve", "--sessions", "2", "--duration", "3",
+                     "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sessions=2" in out
+        assert "completed=2" in out
+        assert "dropped=0" in out
+
+    def test_serve_mptcp_rejected(self):
+        assert main(["serve", "--scheme", "mptcp"]) == 2
+
+    def test_play_writes_qlog(self, capsys, tmp_path):
+        qlog = tmp_path / "session.jsonl"
+        code = main(["play", "--scheme", "xlink", "--duration", "2",
+                     "--qlog", str(qlog)])
+        assert code == 0
+        lines = qlog.read_text().strip().splitlines()
+        assert lines
+        assert '"datagram_sent"' in lines[0] or \
+            '"datagram_received"' in lines[0]
+
+    def test_race_writes_per_scheme_qlogs(self, capsys, tmp_path):
+        qlog = tmp_path / "race.jsonl"
+        code = main(["race", "--schemes", "sp", "xlink", "mptcp",
+                     "--bytes", "200000", "--qlog", str(qlog)])
+        assert code == 0
+        assert (tmp_path / "race.sp.jsonl").exists()
+        assert (tmp_path / "race.xlink.jsonl").exists()
+        # MPTCP runs outside the QUIC tracer; no file for it.
+        assert not (tmp_path / "race.mptcp.jsonl").exists()

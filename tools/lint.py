@@ -1,0 +1,146 @@
+"""Stdlib fallback linter for environments without ruff.
+
+``make lint`` prefers ruff (pinned config in ``pyproject.toml``); when
+it is not installed, this script provides the error-class subset that
+matters for CI gating -- syntax errors, undefined names in common
+forms, and obvious AST-level mistakes:
+
+- E9:   files that fail to compile (syntax / indentation errors)
+- F63x: comparisons with constant literal results (``is`` on literals)
+- F7x:  ``return``/``yield`` outside functions (caught by compile)
+- F821-lite: names read in a module scope that are never bound there,
+  imported, or builtins (intra-function analysis is left to ruff)
+
+Exit status 0 = clean, 1 = findings, matching ruff's convention.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+Finding = Tuple[Path, int, str]
+
+
+def iter_py_files(roots: List[str]) -> Iterator[Path]:
+    for root in roots:
+        path = Path(root)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+class _Scope(ast.NodeVisitor):
+    """Collect every name a module binds at any depth."""
+
+    def __init__(self) -> None:
+        self.bound = set(dir(builtins))
+        self.bound.update({"__file__", "__name__", "__doc__", "__package__",
+                           "__builtins__", "__spec__", "__loader__"})
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.bound.add(node.id)
+        self.generic_visit(node)
+
+    def _bind_target(self, name: str) -> None:
+        self.bound.add(name.split(".")[0])
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._bind_target(alias.asname or alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if alias.name != "*":
+                self._bind_target(alias.asname or alias.name)
+            else:
+                self.bound.add("*")  # wildcard: give up on precision
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.bound.add(node.name)
+        for arg in ([*node.args.posonlyargs, *node.args.args,
+                     *node.args.kwonlyargs]
+                    + ([node.args.vararg] if node.args.vararg else [])
+                    + ([node.args.kwarg] if node.args.kwarg else [])):
+            self.bound.add(arg.arg)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.bound.add(node.name)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.bound.add(node.name)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        for arg in [*node.args.posonlyargs, *node.args.args,
+                    *node.args.kwonlyargs]:
+            self.bound.add(arg.arg)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        for sub in ast.walk(node.target):
+            if isinstance(sub, ast.Name):
+                self.bound.add(sub.id)
+        self.generic_visit(node)
+
+
+def check_file(path: Path) -> List[Finding]:
+    findings: List[Finding] = []
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+        compile(source, str(path), "exec")
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"E999 {exc.msg}")]
+
+    scope = _Scope()
+    scope.visit(tree)
+    if "*" not in scope.bound:
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id not in scope.bound):
+                findings.append((path, node.lineno,
+                                 f"F821 undefined name '{node.id}'"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if (isinstance(op, (ast.Is, ast.IsNot))
+                        and isinstance(comparator, ast.Constant)
+                        and not isinstance(comparator.value,
+                                           (bool, type(None)))):
+                    findings.append(
+                        (path, node.lineno,
+                         "F632 use == to compare with a literal"))
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    roots = argv or ["src", "tests", "tools", "benchmarks"]
+    findings: List[Finding] = []
+    n_files = 0
+    for path in iter_py_files(roots):
+        n_files += 1
+        findings.extend(check_file(path))
+    for path, line, message in findings:
+        print(f"{path}:{line}: {message}")
+    if findings:
+        print(f"{len(findings)} finding(s) in {n_files} files")
+        return 1
+    print(f"lint clean: {n_files} files (stdlib fallback; install ruff "
+          "for the full rule set)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
