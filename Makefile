@@ -2,11 +2,17 @@
 # importable without an editable install.
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test lint bench bench-pytest
+.PHONY: test lint bench bench-pytest chaos
 
-## tier-1 verification: lint gate, then the full unit/integration suite
-test: lint
+## tier-1 verification: lint gate, the chaos soak, then the full
+## unit/integration suite
+test: lint chaos
 	$(PY) -m pytest -x -q
+
+## 12 fixed-seed chaos scenarios; fails on any uncaught exception or
+## invariant violation (see repro.experiments.chaos)
+chaos:
+	$(PY) -m repro chaos --scenarios 12 --seed 7
 
 ## ruff with the pinned config when installed, stdlib fallback otherwise
 lint:

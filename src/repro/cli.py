@@ -10,6 +10,8 @@ Commands:
 - ``mobility``  -- replay one extreme-mobility trace pair (Fig. 13 row)
 - ``schemes``   -- list the available transport schemes
 - ``bench``     -- run the core perf suite, write ``BENCH_core.json``
+- ``chaos``     -- seeded chaos soak over the multi-session runtime;
+  exits non-zero on any uncaught exception or invariant violation
 
 ``play`` and ``race`` accept ``--qlog PATH`` to record a qlog-style
 event trace of the client connection (``race`` writes one file per
@@ -34,6 +36,7 @@ from repro.experiments.contention import ContentionConfig, run_contention
 from repro.experiments.mobility import FIG13_SCHEMES, run_mobility_trace
 from repro.metrics import percentile
 from repro.netem import OutageSchedule
+from repro.quic.connection import aggregate_robustness
 from repro.quic.trace import ConnectionTracer
 from repro.traces.catalog import extreme_mobility_trace_pairs
 from repro.traces.radio_profiles import RadioType
@@ -73,6 +76,13 @@ def _add_network_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _format_robustness(robustness) -> str:
+    """Render the non-zero robustness counters as ``k=v`` pairs."""
+    parts = [f"{key}={value}" for key, value in sorted(robustness.items())
+             if value]
+    return " ".join(parts) if parts else "clean"
+
+
 def cmd_play(args) -> int:
     scheme = args.scheme
     if scheme not in SCHEMES or SCHEMES[scheme].is_mptcp:
@@ -105,6 +115,9 @@ def cmd_play(args) -> int:
         print(f"chunk_rct_max_s={max(m.request_completion_times):.3f}")
     print(f"rebuffer_s={m.rebuffer_time:.2f}")
     print(f"redundancy_pct={result.redundancy_percent:.1f}")
+    if result.client is not None and result.server is not None:
+        print("robustness: " + _format_robustness(aggregate_robustness(
+            [result.client.stats, result.server.stats])))
     return 0
 
 
@@ -152,8 +165,47 @@ def cmd_serve(args) -> int:
     print(f"rebuffer_rate_pct={result.rebuffer_rate * 100:.2f}")
     print(f"redundancy_pct={result.redundancy_percent:.1f}")
     print(f"host: routed={result.datagrams_routed} "
-          f"dropped={result.datagrams_dropped}")
+          f"dropped={result.datagrams_dropped} "
+          f"evicted_closed={result.evicted_closed} "
+          f"evicted_idle={result.evicted_idle}")
     print(f"cell_down_mb={result.cell_down_bytes / 1e6:.2f}")
+    print("robustness: " + _format_robustness(result.robustness))
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.experiments.chaos import ChaosSoakConfig, run_chaos_soak
+    config = ChaosSoakConfig(scenarios=args.scenarios, seed=args.seed,
+                             stall_bound_s=args.stall_bound,
+                             idle_timeout_s=args.idle_timeout)
+    result = run_chaos_soak(config)
+    print(f"{'#':>3} {'scheme':<12} {'sess':>4} {'done':>4} "
+          f"{'evict':>5} {'verdict':<8} faults")
+    for o in result.outcomes:
+        verdict = "ok" if o.ok else ("ERROR" if o.error else "VIOLATION")
+        faults = " ".join(f"{k}={v}" for k, v in sorted(o.injected.items())
+                          if v) or "-"
+        print(f"{o.index:>3} {o.scheme:<12} {o.sessions:>4} "
+              f"{o.completed:>4} {o.evicted_closed + o.evicted_idle:>5} "
+              f"{verdict:<8} {faults}")
+    totals = {}
+    for o in result.outcomes:
+        for key, value in o.robustness.items():
+            if key == "reorder_max_depth":
+                totals[key] = max(totals.get(key, 0), value)
+            else:
+                totals[key] = totals.get(key, 0) + value
+    print("robustness: " + _format_robustness(totals))
+    print(f"digest: {result.digest}")
+    for line in result.errors:
+        print(f"error: {line}", file=sys.stderr)
+    for line in result.violations:
+        print(f"violation: {line}", file=sys.stderr)
+    if not result.ok:
+        print(f"chaos soak FAILED ({len(result.errors)} errors, "
+              f"{len(result.violations)} violations)", file=sys.stderr)
+        return 1
+    print(f"chaos soak passed: {args.scenarios} scenarios, seed {args.seed}")
     return 0
 
 
@@ -236,6 +288,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--timeout", type=float, default=240.0)
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded chaos soak over the multi-session runtime")
+    chaos.add_argument("--scenarios", type=int, default=12)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--stall-bound", type=float, default=5.0,
+                       help="rebuffer allowance beyond injected "
+                            "blackhole seconds")
+    chaos.add_argument("--idle-timeout", type=float, default=4.0,
+                       help="endpoint idle timeout / host eviction age (s)")
+    chaos.set_defaults(func=cmd_chaos)
 
     ab = sub.add_parser("ab", help="one A/B day vs single-path")
     ab.add_argument("--treatment", default="xlink")

@@ -10,6 +10,9 @@ from repro.experiments.harness import (PathSpec, SchemeConfig, SessionResult,
                                        run_video_session, run_bulk_download,
                                        SCHEMES)
 from repro.experiments.abtest import ABTestConfig, run_ab_day, run_ab_test
+from repro.experiments.chaos import (ChaosSoakConfig, ChaosSoakResult,
+                                     ScenarioOutcome, run_chaos_scenario,
+                                     run_chaos_soak)
 from repro.experiments.contention import (ContentionConfig, ContentionResult,
                                           run_contention,
                                           run_contention_sweep)
@@ -31,6 +34,11 @@ __all__ = [
     "ABTestConfig",
     "run_ab_day",
     "run_ab_test",
+    "ChaosSoakConfig",
+    "ChaosSoakResult",
+    "ScenarioOutcome",
+    "run_chaos_scenario",
+    "run_chaos_soak",
     "SessionOutcome",
     "SessionTask",
     "available_workers",

@@ -23,6 +23,7 @@ from repro.host import SessionRuntime, VideoSessionSpec
 from repro.host.specs import build_network, PathSpec
 from repro.metrics.qoe import SessionMetrics, aggregate_rebuffer_rate
 from repro.netem import OutageSchedule
+from repro.quic.connection import aggregate_robustness
 from repro.sim import EventLoop
 from repro.traces.radio_profiles import RadioType
 from repro.traces.synthetic import stable_lte_trace
@@ -74,6 +75,11 @@ class ContentionResult:
     datagrams_dropped: int
     #: total bytes the shared cell's downlink carried
     cell_down_bytes: int
+    #: merged transport robustness counters, client + server sides
+    #: (kept out of :meth:`fingerprint` -- reporting only)
+    robustness: Dict[str, int] = field(default_factory=dict)
+    evicted_closed: int = 0
+    evicted_idle: int = 0
 
     @property
     def redundancy_percent(self) -> float:
@@ -141,7 +147,12 @@ def run_contention(config: ContentionConfig) -> ContentionResult:
         new_stream_bytes=sum(r.new_stream_bytes for r in results),
         datagrams_routed=host.datagrams_routed,
         datagrams_dropped=host.datagrams_dropped,
-        cell_down_bytes=cell.down_bytes_out)
+        cell_down_bytes=cell.down_bytes_out,
+        robustness=aggregate_robustness(
+            [r.client.stats for r in results]
+            + [r.server.stats for r in results]),
+        evicted_closed=host.evicted_closed,
+        evicted_idle=host.evicted_idle)
 
 
 def run_contention_sweep(sessions_list: List[int],

@@ -33,7 +33,8 @@ class ClientEndpoint:
                  interfaces: Sequence[Tuple[int, RadioType]],
                  seed: int = 0,
                  connection_name: Optional[str] = None,
-                 primary_order: Optional[Sequence[RadioType]] = None
+                 primary_order: Optional[Sequence[RadioType]] = None,
+                 idle_timeout_s: Optional[float] = None
                  ) -> None:
         self.loop = loop
         self.endpoint = endpoint
@@ -57,7 +58,8 @@ class ClientEndpoint:
                              enable_multipath=scheme.multipath,
                              cc_algorithm=scheme.cc_algorithm,
                              ack_path_policy=scheme.ack_path_policy,
-                             seed=seed),
+                             seed=seed,
+                             idle_timeout_s=idle_timeout_s),
             transmit=lambda pid, data: endpoint.send(
                 Datagram(payload=data, path_id=pid)),
             scheduler=make_scheduler(scheme),
@@ -142,6 +144,7 @@ class MigrationMonitor:
         self.current_net = primary_net
         self.others = [n for n in net_path_ids if n != primary_net]
         self.last_rx = 0.0
+        self._started_at = loop.now
         self.bytes = 0
         #: (time, cumulative bytes) samples; old entries age off the left
         self.window: Deque[Tuple[float, int]] = deque()
@@ -186,12 +189,45 @@ class MigrationMonitor:
                 break
         recently_migrated = \
             self.loop.now - self.migrated_at < 1.0
-        if (conn.established and have_work and not recently_migrated
+        if not conn.established:
+            # Mid-handshake outage: nothing has ever been received, so
+            # goodput heuristics are useless -- a silent handshake is
+            # itself the stall signal (Wi-Fi died under the first
+            # flight).  Rebind to the other interface and retransmit.
+            stalled = self.loop.now - max(self.last_rx, self._started_at) \
+                > self.STALL_THRESHOLD_S
+            if stalled and self.others and not recently_migrated:
+                self._migrate_handshake()
+            self.loop.schedule_after(self.PROBE_INTERVAL_S, self._probe,
+                                     label="cm-probe")
+            return
+        if (have_work and not recently_migrated
                 and self._degraded() and self.others):
             if not self._migrate():
                 return  # path bring-up failed; stop probing
         self.loop.schedule_after(self.PROBE_INTERVAL_S, self._probe,
                                  label="cm-probe")
+
+    def _migrate_handshake(self) -> None:
+        """Rebind path 0 to the other interface before establishment.
+
+        There is no validated secondary path to migrate onto yet, so
+        this is the pure CM rebind: point path 0's egress at the other
+        interface, reset congestion state, and retransmit the
+        handshake immediately.  The server follows the new source
+        interface when the retransmit arrives.
+        """
+        conn = self.conn
+        target_net = self.others[0]
+        self.others[0] = self.current_net
+        self.current_net = target_net
+        conn.net_path_of[0] = target_net
+        conn.paths[0].cc.reset()
+        conn.retransmit_handshake()
+        self.last_rx = self.loop.now
+        self.migrated_at = self.loop.now
+        self.window.clear()
+        self.migrations += 1
 
     def _migrate(self) -> bool:
         """Open (or reuse) a path on the other interface and make it

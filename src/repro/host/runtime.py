@@ -102,11 +102,15 @@ class SessionRuntime:
     def __init__(self, loop: EventLoop, net: MultipathNetwork,
                  videos: Optional[Dict[str, Video]] = None,
                  server_id: int = 1,
-                 use_frontend: bool = True) -> None:
+                 use_frontend: bool = True,
+                 idle_timeout_s: Optional[float] = None) -> None:
         self.loop = loop
         self.net = net
+        self.idle_timeout_s = idle_timeout_s
         self.host = ServerHost(loop, net, videos=videos,
                                server_id=server_id)
+        if idle_timeout_s is not None:
+            self.host.start_eviction(idle_timeout_s)
         self.frontend: Optional[CdnFrontend] = None
         if use_frontend:
             self.frontend = CdnFrontend({server_id: self.host})
@@ -138,11 +142,13 @@ class SessionRuntime:
         client = ClientEndpoint(self.loop, endpoint, scheme,
                                 spec.interfaces, seed=spec.seed,
                                 connection_name=connection_name,
-                                primary_order=spec.primary_order)
+                                primary_order=spec.primary_order,
+                                idle_timeout_s=self.idle_timeout_s)
         server = self.host.register_session(
             endpoint.name, connection_name, scheme, spec.seed,
             client.primary_net, radio=client.primary_radio,
-            first_frame_acceleration=scheme.first_frame_acceleration)
+            first_frame_acceleration=scheme.first_frame_acceleration,
+            idle_timeout_s=self.idle_timeout_s)
         self._add_to_catalog(spec.video)
         player = client.attach_player(spec.video, spec.player_config)
         if spec.tracer is not None:

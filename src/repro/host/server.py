@@ -29,7 +29,8 @@ from typing import Callable, Dict, List, Optional
 from repro.host.specs import SchemeConfig, make_scheduler
 from repro.netem import Datagram, MultipathNetwork
 from repro.quic.cid import SERVER_ID_OFFSET
-from repro.quic.connection import Connection, ConnectionConfig
+from repro.quic.connection import (Connection, ConnectionConfig,
+                                   derive_initial_dcid)
 from repro.quic.packets import PacketType, decode_header
 from repro.sim import EventLoop
 from repro.traces.radio_profiles import RadioType
@@ -63,6 +64,12 @@ class ServerHost:
         self.misrouted = 0
         self.unknown_cid = 0
         self.post_close_drops = 0
+        #: eviction accounting (see :meth:`start_eviction`)
+        self.evicted_closed = 0
+        self.evicted_idle = 0
+        self._eviction_event = None
+        self._eviction_idle_s: Optional[float] = None
+        self._eviction_interval_s = 1.0
 
     # ------------------------------------------------------------------
     # session provisioning
@@ -80,7 +87,8 @@ class ServerHost:
                          scheme: SchemeConfig, seed: int,
                          primary_net: int,
                          radio: Optional[RadioType] = None,
-                         first_frame_acceleration: Optional[bool] = None
+                         first_frame_acceleration: Optional[bool] = None,
+                         idle_timeout_s: Optional[float] = None
                          ) -> Connection:
         """Provision the server side of one expected session.
 
@@ -97,7 +105,8 @@ class ServerHost:
                              enable_multipath=scheme.multipath,
                              cc_algorithm=scheme.cc_algorithm,
                              ack_path_policy=scheme.ack_path_policy,
-                             seed=seed),
+                             seed=seed,
+                             idle_timeout_s=idle_timeout_s),
             transmit=self._transmit_to(client_addr),
             scheduler=make_scheduler(scheme),
             connection_name=connection_name,
@@ -107,7 +116,59 @@ class ServerHost:
             conn, first_frame_acceleration=first_frame_acceleration)
         self.connections.append(conn)
         self._by_addr[client_addr] = conn
+        # Pre-pin the client's (deterministic) initial DCID: handshake
+        # datagrams then route even if the source address changed (NAT
+        # rebind) before the first packet could pin it by address.
+        self._initial_route[
+            derive_initial_dcid(seed, connection_name)] = conn
         return conn
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+
+    def start_eviction(self, idle_timeout_s: float,
+                       interval_s: float = 1.0) -> None:
+        """Periodically evict dead and idle connections.
+
+        Closed connections (protocol-error closes, idle timeouts,
+        client-initiated closes) are purged from the routing tables so
+        late datagrams land in ``post_close``/``unknown_cid`` drop
+        accounting instead of touching dead state; connections silent
+        beyond ``idle_timeout_s`` are closed and purged -- the host's
+        defence against clients that vanish without closing.
+        """
+        self._eviction_idle_s = idle_timeout_s
+        self._eviction_interval_s = interval_s
+        if self._eviction_event is None:
+            self._eviction_event = self.loop.schedule_after(
+                interval_s, self._eviction_sweep, label="host-evict")
+
+    def _eviction_sweep(self) -> None:
+        self._eviction_event = None
+        now = self.loop.now
+        for conn in list(self.connections):
+            if conn.closed:
+                self._evict(conn)
+                self.evicted_closed += 1
+            elif self._eviction_idle_s is not None \
+                    and now - conn.last_activity_at > self._eviction_idle_s:
+                conn.silent_close()
+                self._evict(conn)
+                self.evicted_idle += 1
+        # Re-arm only while there is anything left to watch, so
+        # drain-to-empty simulations still terminate.
+        if self.connections:
+            self._eviction_event = self.loop.schedule_after(
+                self._eviction_interval_s, self._eviction_sweep,
+                label="host-evict")
+
+    def _evict(self, conn: Connection) -> None:
+        if conn in self.connections:
+            self.connections.remove(conn)
+        for table in (self._by_addr, self._initial_route, self._cid_route):
+            for key in [k for k, v in table.items() if v is conn]:
+                del table[key]
 
     def _transmit_to(self, client_addr: str) -> Callable[[int, bytes], None]:
         endpoint = self.net.server

@@ -19,6 +19,7 @@ the discrete-event engine:
 from repro.netem.packet import Datagram
 from repro.netem.link import ConstantRateLink, TraceDrivenLink, LinkStats
 from repro.netem.pipes import DelayBox, LossBox, OutageSchedule
+from repro.netem.chaos import ChaosBox, ChaosSchedule, ChaosStats
 from repro.netem.network import Endpoint, EmulatedPath, MultipathNetwork
 
 __all__ = [
@@ -29,6 +30,9 @@ __all__ = [
     "DelayBox",
     "LossBox",
     "OutageSchedule",
+    "ChaosBox",
+    "ChaosSchedule",
+    "ChaosStats",
     "Endpoint",
     "EmulatedPath",
     "MultipathNetwork",

@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Union
 
+from repro.netem.chaos import ChaosBox, ChaosSchedule
 from repro.netem.link import ConstantRateLink, TraceDrivenLink
 from repro.netem.packet import Datagram
 from repro.netem.pipes import DelayBox, LossBox, OutageSchedule
@@ -91,13 +92,36 @@ class EmulatedPath:
         self.downlink = _Direction(loop, down_link_factory, down_delay,
                                    loss_rate, outages, rng, deliver_to_client)
         self.enabled = True
+        self._loop = loop
+        #: optional chaos-injection stages (see :mod:`repro.netem.chaos`)
+        self.up_chaos: Optional[ChaosBox] = None
+        self.down_chaos: Optional[ChaosBox] = None
+
+    def attach_chaos(self, up: Optional[ChaosSchedule] = None,
+                     down: Optional[ChaosSchedule] = None,
+                     rng: Optional[random.Random] = None) -> None:
+        """Insert chaos boxes in front of either direction's pipeline."""
+        if up is not None and not up.is_noop():
+            self.up_chaos = ChaosBox(self._loop, self.uplink.send, up,
+                                     rng=rng)
+        if down is not None and not down.is_noop():
+            self.down_chaos = ChaosBox(self._loop, self.downlink.send, down,
+                                       rng=rng)
 
     def send_from_client(self, dgram: Datagram) -> None:
-        if self.enabled:
+        if not self.enabled:
+            return
+        if self.up_chaos is not None:
+            self.up_chaos.send(dgram)
+        else:
             self.uplink.send(dgram)
 
     def send_from_server(self, dgram: Datagram) -> None:
-        if self.enabled:
+        if not self.enabled:
+            return
+        if self.down_chaos is not None:
+            self.down_chaos.send(dgram)
+        else:
             self.downlink.send(dgram)
 
     @property

@@ -136,6 +136,22 @@ def bench_multi_session(sessions: int = 16, seed: int = 11) -> Dict[str, Any]:
     }
 
 
+def bench_chaos_soak(scenarios: int = 6, seed: int = 7) -> Dict[str, Any]:
+    """Scenarios/sec of the chaos soak (fault pipeline + hardening)."""
+    from repro.experiments.chaos import ChaosSoakConfig, run_chaos_soak
+    config = ChaosSoakConfig(scenarios=scenarios, seed=seed)
+    t0 = time.perf_counter()
+    result = run_chaos_soak(config)
+    elapsed = time.perf_counter() - t0
+    return {
+        "scenarios": scenarios,
+        "seconds": elapsed,
+        "scenarios_per_sec": scenarios / elapsed if elapsed > 0 else 0.0,
+        "ok": result.ok,
+        "digest": result.digest,
+    }
+
+
 def bench_parallel_ab_day(users_per_day: int = 10,
                           workers: Optional[int] = None,
                           seed: int = 3) -> Dict[str, Any]:
@@ -187,6 +203,7 @@ def collect(n_events: int = 200_000, n_packets: int = 50_000,
             "trace_link": bench_trace_link(n_packets),
             "session_xlink": bench_reference_session(),
             "multi_session": bench_multi_session(),
+            "chaos_soak": bench_chaos_soak(),
             "ab_day_parallel": bench_parallel_ab_day(ab_users,
                                                      workers=workers),
         },
@@ -248,6 +265,9 @@ def format_report(report: Dict[str, Any]) -> str:
         f"multi_session   {b['multi_session']['sessions_per_sec']:>12.2f} "
         f"sessions/sec (N={b['multi_session']['sessions']}, "
         f"{b['multi_session']['completed']} completed)",
+        f"chaos_soak      {b['chaos_soak']['scenarios_per_sec']:>12.2f} "
+        f"scenarios/sec (N={b['chaos_soak']['scenarios']}, "
+        f"ok={b['chaos_soak']['ok']})",
         f"ab_day          {ab['serial_seconds']:>12.3f} s serial / "
         f"{ab['parallel_seconds']:.3f} s x{ab['workers']} workers "
         f"(speedup {ab['speedup']:.2f}, "

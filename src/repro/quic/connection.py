@@ -35,7 +35,7 @@ from repro.quic.cc import LiaCoordinator, LiaCoupledCc, make_cc
 from repro.quic.cc.base import MAX_DATAGRAM_SIZE
 from repro.quic.cid import CidRegistry, ConnectionId
 from repro.quic.crypto import PacketProtection, TAG_LENGTH, derive_connection_key
-from repro.quic.errors import ProtocolViolation
+from repro.quic.errors import ProtocolViolation, QuicError
 from repro.quic.frames import (AckMpFrame, AckRange, ConnectionCloseFrame,
                                CryptoFrame, MaxDataFrame, MaxStreamDataFrame,
                                NewConnectionIdFrame, PathChallengeFrame,
@@ -100,6 +100,26 @@ class ConnectionConfig:
     #: number of extra CIDs supplied at handshake (max paths - 1)
     extra_cids: int = 4
     seed: int = 0
+    #: silently close after this long without an authenticated packet
+    #: (``None`` disables the idle timer entirely)
+    idle_timeout_s: Optional[float] = None
+    #: re-injection storm guard: cap on duplicate bytes enqueued per
+    #: RTT-sized window (0 disables).  Sized far above legitimate XLINK
+    #: re-injection bursts (bounded by a stuck path's cwnd), so only
+    #: chaos-triggered amplification ever trims.
+    reinject_budget_bytes_per_rtt: int = 1_000_000
+
+
+def derive_initial_dcid(seed: int, connection_name: str) -> bytes:
+    """The client-chosen random initial DCID for a connection.
+
+    Derived deterministically from the connection's shared identity so
+    the server host (which knows the same identity) can pre-pin the
+    handshake route -- NAT rebinds before the first packet then cannot
+    orphan the connection.
+    """
+    rng = make_rng(seed, f"{connection_name}-initial-dcid")
+    return bytes(rng.getrandbits(8) for _ in range(8))
 
 
 @dataclass
@@ -124,6 +144,17 @@ class ConnectionStats:
         self.packets_received = 0
         self.acks_sent = 0
         self.handshake_completed_at: Optional[float] = None
+        #: robustness counters (chaos / hostile-input accounting)
+        self.corrupted_dropped = 0
+        self.malformed_dropped = 0
+        self.unknown_cid_dropped = 0
+        self.frame_decode_errors = 0
+        self.protocol_error_closes = 0
+        self.duplicates_suppressed = 0
+        self.reorder_max_depth = 0
+        self.storm_guard_trims = 0
+        self.storm_guard_trimmed_bytes = 0
+        self.idle_timeouts = 0
 
     @property
     def redundancy_ratio(self) -> float:
@@ -131,6 +162,37 @@ class ConnectionStats:
         if self.stream_bytes_new == 0:
             return 0.0
         return self.stream_bytes_reinjected / self.stream_bytes_new
+
+    def robustness_dict(self) -> Dict[str, int]:
+        """The robustness counters, for summaries and invariant checks."""
+        return {
+            "corrupted_dropped": self.corrupted_dropped,
+            "malformed_dropped": self.malformed_dropped,
+            "unknown_cid_dropped": self.unknown_cid_dropped,
+            "frame_decode_errors": self.frame_decode_errors,
+            "protocol_error_closes": self.protocol_error_closes,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "reorder_max_depth": self.reorder_max_depth,
+            "storm_guard_trims": self.storm_guard_trims,
+            "storm_guard_trimmed_bytes": self.storm_guard_trimmed_bytes,
+            "idle_timeouts": self.idle_timeouts,
+        }
+
+
+def aggregate_robustness(stats_list) -> Dict[str, int]:
+    """Merge robustness counters across connections.
+
+    ``reorder_max_depth`` is a high-water mark (max); everything else
+    is additive.
+    """
+    total: Dict[str, int] = {}
+    for stats in stats_list:
+        for key, value in stats.robustness_dict().items():
+            if key == "reorder_max_depth":
+                total[key] = max(total.get(key, 0), value)
+            else:
+                total[key] = total.get(key, 0) + value
+    return total
 
 
 class Connection:
@@ -209,6 +271,9 @@ class Connection:
                                               None]] = []
         #: fired on every QoE feedback signal from the peer
         self.qoe_hooks: List[Callable[[QoeSignals], None]] = []
+        #: fired whenever a datagram/chunk is dropped: ``hook(reason,
+        #: size)`` -- reasons mirror the robustness counters.
+        self.drop_hooks: List[Callable[[str, int], None]] = []
 
         self._timer_event = None
         self._ack_timer_event = None
@@ -217,6 +282,17 @@ class Connection:
         self._handshake_retransmit_event = None
         self._eliciting_since_ack: Dict[int, int] = {}
         self._next_challenge = 0
+
+        #: virtual time of the last authenticated packet (idle timer)
+        self.last_activity_at = loop.now
+        self._idle_event = None
+        if config.idle_timeout_s is not None:
+            self._idle_event = loop.schedule_at(
+                self._idle_deadline(), self._on_idle_check,
+                label="idle-timeout")
+        #: re-injection storm guard window state
+        self._storm_window_start = loop.now
+        self._storm_window_bytes = 0
 
     # ------------------------------------------------------------------
     # observer hooks
@@ -238,6 +314,14 @@ class Connection:
     def add_qoe_hook(self, hook: Callable[[QoeSignals], None]) -> None:
         """Observe peer QoE feedback: ``hook(qoe)``."""
         self.qoe_hooks.append(hook)
+
+    def add_drop_hook(self, hook: Callable[[str, int], None]) -> None:
+        """Observe robustness drops: ``hook(reason, size_bytes)``."""
+        self.drop_hooks.append(hook)
+
+    def _note_drop(self, reason: str, size: int) -> None:
+        for hook in self.drop_hooks:
+            hook(reason, size)
 
     def _emit(self, net_path_id: int, payload: bytes) -> None:
         """Hand a datagram to the network, notifying transmit hooks."""
@@ -272,9 +356,8 @@ class Connection:
             # client-chosen initial DCID, as in QUIC -- load balancers
             # consistent-hash it to pick the backend (Sec. 6).  It is
             # replaced when the peer's real CIDs arrive.
-            rng = make_rng(self.config.seed,
-                           f"{self.connection_name}-initial-dcid")
-            initial = bytes(rng.getrandbits(8) for _ in range(8))
+            initial = derive_initial_dcid(self.config.seed,
+                                          self.connection_name)
             remote = ConnectionId(cid=initial, sequence_number=path_id)
         path = Path(path_id, local_cid, remote, self._make_cc(), radio=radio,
                     max_ack_delay=self.config.max_ack_delay)
@@ -324,12 +407,15 @@ class Connection:
         self._pump()
 
     def _abandon_path_locally(self, path: Path) -> None:
-        # Lost-in-limbo data on this path must be retransmitted elsewhere.
-        for pkt in list(path.loss.sent.values()):
+        # Lost-in-limbo data on this path must be retransmitted
+        # elsewhere; every in-flight byte is released to congestion
+        # control and the path's loss timer is cleared so an abandoned
+        # path can never fire a stale deadline.
+        for pkt in path.loss.discard_all():
             path.cc.on_discarded(pkt.size if pkt.in_flight else 0)
             self._requeue_lost_frames(pkt)
-        path.loss.sent.clear()
         path.abandon()
+        self._arm_loss_timer()
 
     def start_qoe_feedback(self, interval_s: float = 0.1) -> None:
         """Send QOE_CONTROL_SIGNALS frames on a timer (draft Sec. 6).
@@ -441,11 +527,23 @@ class Connection:
         path.bytes_sent += len(aad) + len(sealed)
         self._emit(self.net_path_of[0], aad + sealed)
         if self.config.is_client and not self.established:
+            if self._handshake_retransmit_event is not None:
+                self._handshake_retransmit_event.cancel()
             self._handshake_retransmit_event = self.loop.schedule_after(
                 1.0, self._handshake_timeout, label="hs-rtx")
 
     def _handshake_timeout(self) -> None:
         if not self.established and not self.closed:
+            self._send_handshake()
+
+    def retransmit_handshake(self) -> None:
+        """Re-send the client handshake immediately (CM rebind support).
+
+        Used when the primary interface dies mid-handshake: the monitor
+        rebinds path 0 to another interface and retransmits right away
+        instead of waiting out the retransmit timer.
+        """
+        if self.config.is_client and not self.established and not self.closed:
             self._send_handshake()
 
     def _on_handshake_packet(self, header: PacketHeader,
@@ -592,25 +690,55 @@ class Connection:
     # ------------------------------------------------------------------
 
     def datagram_received(self, payload: bytes, net_path_id: int = -1) -> None:
-        """Entry point for datagrams from the emulated network."""
+        """Entry point for datagrams from the emulated network.
+
+        Never raises.  Hostile or damaged input is counted and dropped
+        (truncated headers, AEAD failures, duplicates), or -- for
+        authenticated-but-malformed payloads -- answered with a clean
+        CONNECTION_CLOSE carrying the matching transport error code.
+        """
         for hook in self.receive_hooks:
             hook(payload, net_path_id)
         if self.closed:
             return
-        header, offset = decode_header(payload)
+        try:
+            header, offset = decode_header(payload)
+        except QuicError:
+            self.stats.malformed_dropped += 1
+            self._note_drop("malformed_header", len(payload))
+            return
         if header.packet_type is PacketType.HANDSHAKE:
             try:
                 plain = self.protection.open(payload[offset:],
                                              payload[:offset], 0,
                                              header.truncated_pn)
             except ValueError:
+                self.stats.corrupted_dropped += 1
+                self._note_drop("corrupted", len(payload))
                 return
             self.stats.packets_received += 1
-            self._on_handshake_packet(header, plain)
+            self.last_activity_at = self.loop.now
+            # Mid-handshake migration: follow the observed source
+            # interface so replies reach a client whose primary
+            # interface died before the handshake completed.
+            if net_path_id >= 0 and 0 in self.paths \
+                    and self.net_path_of.get(0) != net_path_id:
+                self.net_path_of[0] = net_path_id
+            try:
+                self._on_handshake_packet(header, plain)
+            except QuicError as exc:
+                self._close_on_error(exc)
+            except ValueError:
+                self.stats.malformed_dropped += 1
+                self._note_drop("malformed_handshake", len(payload))
             return
         local = self.cids.lookup_issued(header.dcid)
         if local is None:
-            return  # unknown DCID; drop
+            # Unknown DCID: routing noise, or corruption that hit the
+            # CID bytes (so authentication was never attempted).
+            self.stats.unknown_cid_dropped += 1
+            self._note_drop("unknown_cid", len(payload))
+            return
         path_id = local.sequence_number
         path = self.paths.get(path_id)
         if path is None:
@@ -622,21 +750,42 @@ class Connection:
             plain = self.protection.open(payload[offset:], payload[:offset],
                                          path_id, pn)
         except ValueError:
+            self.stats.corrupted_dropped += 1
+            self._note_drop("corrupted", len(payload))
             return
         # Address migration: if the peer moved this QUIC path onto a
         # different network path (QUIC connection migration, Sec. 2),
         # follow it -- replies go to the observed source.
         if net_path_id >= 0 and self.net_path_of.get(path_id) != net_path_id:
             self.net_path_of[path_id] = net_path_id
+        if pn < path.largest_received_pn:
+            depth = path.largest_received_pn - pn
+            if depth > self.stats.reorder_max_depth:
+                self.stats.reorder_max_depth = depth
         if not path.record_received(pn, self.loop.now):
-            return  # duplicate packet
+            self.stats.duplicates_suppressed += 1
+            self._note_drop("duplicate", len(payload))
+            return
         self.stats.packets_received += 1
+        self.last_activity_at = self.loop.now
         path.packets_received += 1
         path.bytes_received += len(payload)
-        frames = decode_frames(plain)
+        try:
+            frames = decode_frames(plain)
+        except QuicError as exc:
+            # Authenticated but unparseable: a peer (or our own stack)
+            # bug, not line noise -- close cleanly per RFC 9000.
+            self.stats.frame_decode_errors += 1
+            self._note_drop("frame_decode", len(payload))
+            self._close_on_error(exc)
+            return
         eliciting = any(is_ack_eliciting(f) for f in frames)
-        for frame in frames:
-            self._handle_frame(frame, path)
+        try:
+            for frame in frames:
+                self._handle_frame(frame, path)
+        except QuicError as exc:
+            self._close_on_error(exc)
+            return
         if eliciting:
             self._eliciting_since_ack[path_id] = \
                 self._eliciting_since_ack.get(path_id, 0) + 1
@@ -689,6 +838,7 @@ class Connection:
             self._on_qoe(frame.qoe)
         elif isinstance(frame, ConnectionCloseFrame):
             self.closed = True
+            self._cancel_timers()
         elif isinstance(frame, PingFrame):
             pass
         # CRYPTO in 1-RTT and unknown frames are ignored at this layer.
@@ -1055,6 +1205,8 @@ class Connection:
                 and self.loop.now - last < max(self.max_delivery_time(),
                                                0.3):
             return
+        if not self._storm_guard_admit(chunk.length):
+            return
         self._reinjected_ranges[key] = self.loop.now
         if position is None:
             self.send_queue.append(chunk)
@@ -1062,6 +1214,31 @@ class Connection:
             self.send_queue.insert(position, chunk)
         for hook in self.reinjection_hooks:
             hook(chunk, position)
+
+    def _storm_guard_admit(self, length: int) -> bool:
+        """Cap duplicate bytes per RTT-sized window (storm guard).
+
+        Chaos-grade reordering/duplication can con the re-injection
+        logic into amplifying traffic; legitimate XLINK bursts are
+        bounded by a stuck path's cwnd and stay far below the budget.
+        """
+        budget = self.config.reinject_budget_bytes_per_rtt
+        if budget <= 0:
+            return True
+        window = max((p.rtt.smoothed for p in self.paths.values()
+                      if p.state is not PathState.ABANDONED), default=0.1)
+        window = max(window, 0.05)
+        now = self.loop.now
+        if now - self._storm_window_start >= window:
+            self._storm_window_start = now
+            self._storm_window_bytes = 0
+        if self._storm_window_bytes + length > budget:
+            self.stats.storm_guard_trims += 1
+            self.stats.storm_guard_trimmed_bytes += length
+            self._note_drop("storm_guard", length)
+            return False
+        self._storm_window_bytes += length
+        return True
 
     def max_delivery_time(self) -> float:
         """Eq. 1: estimated max delivery time of in-flight packets.
@@ -1138,6 +1315,46 @@ class Connection:
                 self._on_pto(path)
         self._pump()
 
+    # -- idle timeout ----------------------------------------------------
+
+    def _idle_deadline(self) -> float:
+        """When the idle timer would fire, PTO-backoff aware.
+
+        RFC 9000 Sec. 10.1: the effective timeout is at least three
+        probe timeouts, so a peer mid-PTO-backoff is not declared idle
+        while probes are still legitimately spaced out.  The grace is
+        capped at 4x the configured timeout so the exponential PTO
+        ceiling (2^10) cannot defer the close by minutes.
+        """
+        idle = self.config.idle_timeout_s
+        pto = 0.0
+        for path in self.paths.values():
+            if path.state is PathState.ABANDONED:
+                continue
+            interval = path.rtt.pto(self.config.max_ack_delay) \
+                * (2 ** path.loss.pto_count)
+            pto = max(pto, interval)
+        grace = min(3.0 * pto, 4.0 * idle)
+        return self.last_activity_at + max(idle, grace)
+
+    def _on_idle_check(self) -> None:
+        self._idle_event = None
+        if self.closed or self.config.idle_timeout_s is None:
+            return
+        deadline = self._idle_deadline()
+        if self.loop.now + 1e-9 >= deadline:
+            self._on_idle_timeout()
+            return
+        self._idle_event = self.loop.schedule_at(
+            deadline, self._on_idle_check, label="idle-timeout")
+
+    def _on_idle_timeout(self) -> None:
+        self.stats.idle_timeouts += 1
+        self._note_drop("idle_timeout", 0)
+        # RFC 9000 Sec. 10.1: an idle close is silent -- the peer is
+        # unreachable, so sending CONNECTION_CLOSE would be pointless.
+        self.silent_close()
+
     def _on_pto(self, path: Path) -> None:
         """Probe timeout: retransmit the oldest unacked data on the path."""
         path.loss.on_pto()
@@ -1185,9 +1402,31 @@ class Connection:
                 break
         self._flush_control()
         self.closed = True
-        if self._timer_event is not None:
-            self._timer_event.cancel()
-        if self._ack_timer_event is not None:
-            self._ack_timer_event.cancel()
-        if self._handshake_retransmit_event is not None:
-            self._handshake_retransmit_event.cancel()
+        self._cancel_timers()
+
+    def silent_close(self) -> None:
+        """Tear down local state without notifying the peer.
+
+        Used for idle timeouts and host-side eviction, where the peer
+        is gone (or never showed up) and a CONNECTION_CLOSE would just
+        be more dead traffic.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._cancel_timers()
+
+    def _close_on_error(self, exc: QuicError) -> None:
+        """Terminate with the transport error code carried by ``exc``."""
+        self.stats.protocol_error_closes += 1
+        self.close(error_code=int(exc.error_code), reason=str(exc))
+
+    def _cancel_timers(self) -> None:
+        for event in (self._timer_event, self._ack_timer_event,
+                      self._handshake_retransmit_event, self._idle_event):
+            if event is not None:
+                event.cancel()
+        self._timer_event = None
+        self._ack_timer_event = None
+        self._handshake_retransmit_event = None
+        self._idle_event = None

@@ -252,6 +252,10 @@ def _encode_ack_ranges(buf: Buffer, largest: int,
 
 def _decode_ack_ranges(buf: Buffer, largest: int) -> Tuple[AckRange, ...]:
     count = buf.pull_varint()
+    # Each additional range needs at least two varint bytes; a count
+    # beyond that is a malformed (or hostile) frame, not a big ACK.
+    if count * 2 > buf.remaining:
+        raise FrameEncodingError(f"ack range count {count} exceeds payload")
     first_len = buf.pull_varint()
     ranges = [AckRange(start=largest - first_len, end=largest)]
     prev_start = largest - first_len
@@ -342,7 +346,21 @@ def encode_frames(frames: List[object]) -> bytes:
 
 
 def decode_frames(payload: bytes) -> List[object]:
-    """Parse a packet payload into a list of frames."""
+    """Parse a packet payload into a list of frames.
+
+    Malformed input always surfaces as :class:`FrameEncodingError`
+    (never a bare ``ValueError``), so the connection can map any
+    parse failure to a clean FRAME_ENCODING_ERROR close.
+    """
+    try:
+        return _decode_frames_inner(payload)
+    except FrameEncodingError:
+        raise
+    except (ValueError, OverflowError) as exc:
+        raise FrameEncodingError(f"malformed frame: {exc}") from exc
+
+
+def _decode_frames_inner(payload: bytes) -> List[object]:
     buf = Buffer(payload)
     frames: List[object] = []
     while buf.remaining > 0:

@@ -125,6 +125,19 @@ class PathLossDetector:
         """Fire the time-threshold timer."""
         return self._detect_losses(now)
 
+    def discard_all(self) -> List[SentPacket]:
+        """Drop all tracked packets (path abandoned / PN space closed).
+
+        Clears the loss timer too, so an abandoned path can never fire
+        a stale time-threshold deadline.  Returns the discarded packets
+        in packet-number order for the caller to release to congestion
+        control and requeue.
+        """
+        pkts = [self.sent[pn] for pn in sorted(self.sent)]
+        self.sent.clear()
+        self.loss_time = None
+        return pkts
+
     # -- timers -------------------------------------------------------------
 
     def pto_deadline(self) -> Optional[float]:

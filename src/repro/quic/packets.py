@@ -72,16 +72,22 @@ def decode_header(data: bytes) -> Tuple[PacketHeader, int]:
     first = data[0]
     if first & 0x80:  # long header
         pos = 1
+        if pos >= len(data):
+            raise ProtocolViolation("truncated long header")
         dcid_len = data[pos]
         pos += 1
         dcid = data[pos:pos + dcid_len]
         pos += dcid_len
+        if pos >= len(data):
+            raise ProtocolViolation("truncated long header")
         scid_len = data[pos]
         pos += 1
         scid = data[pos:pos + scid_len]
         pos += scid_len
         if len(dcid) != dcid_len or len(scid) != scid_len:
             raise ProtocolViolation("truncated long header")
+        if pos + PN_TRUNC_BYTES > len(data):
+            raise ProtocolViolation("truncated packet number")
         pn = int.from_bytes(data[pos:pos + PN_TRUNC_BYTES], "big")
         pos += PN_TRUNC_BYTES
         return PacketHeader(PacketType.HANDSHAKE, dcid=dcid, scid=scid,

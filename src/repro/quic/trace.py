@@ -90,10 +90,15 @@ class ConnectionTracer:
                         cached_frames=qoe.cached_frames,
                         bps=qoe.bps, fps=qoe.fps)
 
+        def on_drop(reason: str, size: int) -> None:
+            self.record(conn.loop.now, "robustness", "drop",
+                        reason=reason, size=size)
+
         conn.add_transmit_hook(on_transmit)
         conn.add_receive_hook(on_receive)
         conn.add_reinjection_hook(on_reinjection)
         conn.add_qoe_hook(on_qoe)
+        conn.add_drop_hook(on_drop)
 
     # -- queries --------------------------------------------------------------
 
