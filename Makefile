@@ -2,12 +2,29 @@
 # importable without an editable install.
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test lint bench bench-pytest chaos
+.PHONY: test lint bench bench-pytest chaos profile-smoke bench-compare
 
-## tier-1 verification: lint gate, the chaos soak, then the full
-## unit/integration suite
+## tier-1 verification: lint gate, the chaos soak, the full
+## unit/integration suite, then the perf guards (profiling harness
+## smoke test + regression diff against the committed BENCH_core.json)
 test: lint chaos
 	$(PY) -m pytest -x -q
+	$(MAKE) profile-smoke
+	$(MAKE) bench-compare
+
+## one short scenario under cProfile; asserts the JSON artifact exists
+profile-smoke:
+	@rm -f .profile_smoke.json
+	$(PY) -m repro profile hotpath --top 5 --out .profile_smoke.json
+	@test -s .profile_smoke.json || \
+		(echo "profile-smoke: no JSON artifact produced" && exit 1)
+	@$(PY) -c "import json; json.load(open('.profile_smoke.json'))"
+	@rm -f .profile_smoke.json
+
+## fail on >30% regression vs the committed BENCH_core.json in the
+## event_loop, trace_link and hotpath benchmark families
+bench-compare:
+	$(PY) tools/bench_compare.py
 
 ## 12 fixed-seed chaos scenarios; fails on any uncaught exception or
 ## invariant violation (see repro.experiments.chaos)

@@ -20,6 +20,10 @@ from repro import perfbench
 MIN_EVENTS_PER_SEC = 100_000
 MIN_PACKETS_PER_SEC = 50_000
 MAX_SESSION_WALL_S = 30.0
+MIN_SEAL_OPEN_BYTES_PER_SEC = 5_000_000
+MIN_CRYPTO_SPEEDUP = 2.0
+MIN_DATAGRAMS_PER_SEC = 1_000
+MIN_PUMP_PACKETS_PER_SEC = 300
 
 
 class TestEventLoopThroughput:
@@ -51,6 +55,38 @@ class TestReferenceSession:
                       result["completed"]]])
         assert result["completed"]
         assert result["seconds"] < MAX_SESSION_WALL_S
+
+
+class TestHotpath:
+    def test_crypto_seal_open(self, benchmark):
+        result = run_once(benchmark, perfbench.bench_hotpath_crypto)
+        print_table("hotpath: AEAD seal+open",
+                    ["payload", "iters", "MB/s", "speedup vs baseline"],
+                    [[result["payload_bytes"], result["iters"],
+                      f"{result['seal_open_bytes_per_sec'] / 1e6:.1f}",
+                      f"{result['speedup_vs_baseline']:.2f}x"]])
+        assert result["seal_open_bytes_per_sec"] > \
+            MIN_SEAL_OPEN_BYTES_PER_SEC
+        assert result["speedup_vs_baseline"] > MIN_CRYPTO_SPEEDUP
+
+    def test_datagram_receive_rate(self, benchmark):
+        result = run_once(benchmark, perfbench.bench_hotpath_datagrams)
+        print_table("hotpath: datagram_received",
+                    ["datagrams", "seconds", "datagrams/sec"],
+                    [[result["datagrams"], f"{result['seconds']:.3f}",
+                      f"{result['datagrams_per_sec']:,.0f}"]])
+        assert result["datagrams_per_sec"] > MIN_DATAGRAMS_PER_SEC
+
+    def test_pump_packet_rate(self, benchmark):
+        result = run_once(benchmark, perfbench.bench_hotpath_pump,
+                          1_000_000)
+        print_table("hotpath: send pump bulk transfer",
+                    ["bytes", "packets", "packets/sec", "complete"],
+                    [[result["transfer_bytes"], result["packets_sent"],
+                      f"{result['packets_per_sec']:,.0f}",
+                      result["complete"]]])
+        assert result["complete"]
+        assert result["packets_per_sec"] > MIN_PUMP_PACKETS_PER_SEC
 
 
 class TestParallelAbDay:

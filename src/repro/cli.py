@@ -342,6 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="measure and print, but do not write")
     _add_workers_arg(bench)
     bench.set_defaults(func=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", help="run a scenario under cProfile, print hotspots")
+    profile.add_argument("scenario",
+                         help="scenario name, or 'list' to enumerate")
+    profile.add_argument("--top", type=int, default=25,
+                         help="number of hotspot rows (default 25)")
+    profile.add_argument("--out", default=None,
+                         help="write a JSON artifact to this path")
+    profile.set_defaults(func=cmd_profile)
     return parser
 
 
@@ -360,6 +370,22 @@ def cmd_bench(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"wrote {path}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro import profiling
+    if args.scenario == "list":
+        for name, desc in profiling.scenarios().items():
+            print(f"{name:<12} {desc}")
+        return 0
+    try:
+        report = profiling.run_profile(args.scenario, top=args.top,
+                                       out_path=args.out)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(profiling.format_report(report))
     return 0
 
 

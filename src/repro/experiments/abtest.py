@@ -202,7 +202,7 @@ def build_ab_day_tasks(cfg: ABTestConfig, day: int, schemes: Sequence[str],
 
 def run_ab_day(cfg: ABTestConfig, day: int, schemes: Sequence[str],
                scheme_overrides: Optional[Dict[str, dict]] = None,
-               workers: Optional[int] = 1) -> Dict[str, DayResult]:
+               workers: Optional[int] = None) -> Dict[str, DayResult]:
     """Run one day's user population through each scheme.
 
     The same sampled user conditions are replayed for every scheme
@@ -210,11 +210,11 @@ def run_ab_day(cfg: ABTestConfig, day: int, schemes: Sequence[str],
     population but reproduces the comparative result with far fewer
     simulated users.
 
-    ``workers=1`` (the default) runs in-process; ``workers=None``/``0``
-    fans the sessions out over ``os.cpu_count()`` processes.  Either
-    way the per-scheme :class:`DayResult` metrics are identical: every
-    session's seed is derived before dispatch and outcomes are
-    reassembled in submission order.
+    ``workers=None``/``0`` (the default) fans the sessions out over
+    ``os.cpu_count()`` processes; ``workers=1`` forces a serial
+    in-process run.  Either way the per-scheme :class:`DayResult`
+    metrics are identical: every session's seed is derived before
+    dispatch and outcomes are reassembled in submission order.
     """
     results = {scheme: DayResult(day=day, scheme=scheme)
                for scheme in schemes}
@@ -227,7 +227,7 @@ def run_ab_day(cfg: ABTestConfig, day: int, schemes: Sequence[str],
 
 def run_ab_test(cfg: ABTestConfig, schemes: Sequence[str],
                 scheme_overrides: Optional[Dict[str, dict]] = None,
-                workers: Optional[int] = 1
+                workers: Optional[int] = None
                 ) -> Dict[str, List[DayResult]]:
     """Run the full multi-day A/B test (days fan out session tasks)."""
     out: Dict[str, List[DayResult]] = {scheme: [] for scheme in schemes}

@@ -121,7 +121,7 @@ def run_scheme_on_trace(pair: dict, scheme: str, seed: int = 0,
 
 def run_mobility_trace(pair: dict, schemes: Sequence[str] = FIG13_SCHEMES,
                        seed: int = 0, timeout_s: float = 120.0,
-                       workers: Optional[int] = 1) -> MobilityResult:
+                       workers: Optional[int] = None) -> MobilityResult:
     """Run every scheme over one (cellular, wifi) trace pair."""
     result = MobilityResult(trace_id=pair["trace_id"],
                             environment=pair["environment"])
@@ -187,7 +187,7 @@ def _run_mptcp_paced(paths: List[PathSpec], timeout_s: float,
 def run_fig13(n_traces: int = 10, duration_s: float = 30.0,
               schemes: Sequence[str] = FIG13_SCHEMES,
               seed: int = 0,
-              workers: Optional[int] = 1) -> List[MobilityResult]:
+              workers: Optional[int] = None) -> List[MobilityResult]:
     """The full Fig. 13 sweep over the trace catalog.
 
     Fans the flat (trace, scheme) replay grid out over ``workers``

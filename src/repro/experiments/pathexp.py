@@ -70,7 +70,7 @@ def run_fig7_point(primary: str, first_frame_size: int,
 
 def run_fig7(frame_sizes: Sequence[int] = FIG7_FRAME_SIZES,
              seed: int = 0,
-             workers: Optional[int] = 1
+             workers: Optional[int] = None
              ) -> Dict[str, List[Tuple[int, float]]]:
     """Full Fig. 7 sweep: {primary: [(frame_size, latency_s), ...]}.
 
@@ -126,7 +126,7 @@ def run_fig8_point(rtt_ratio: float, ack_policy: str,
 
 def run_fig8(ratios: Sequence[float] = FIG8_RTT_RATIOS,
              seed: int = 0,
-             workers: Optional[int] = 1
+             workers: Optional[int] = None
              ) -> Dict[str, List[Tuple[float, float]]]:
     """Full Fig. 8 sweep: {policy: [(ratio, completion_s), ...]}.
 

@@ -40,7 +40,7 @@ DANGER_LEVEL_S = 0.050
 
 def measure_playtime_distribution(cfg: ABTestConfig,
                                   scheme: str = "vanilla_mp",
-                                  workers: Optional[int] = 1
+                                  workers: Optional[int] = None
                                   ) -> List[float]:
     """Buffer play-time-left samples with re-injection control off."""
     day = run_ab_day(cfg, 1, [scheme], workers=workers)[scheme]
@@ -94,7 +94,7 @@ def run_threshold_sweep(cfg: ABTestConfig,
                         settings: Sequence[Tuple[int, int]] =
                         PAPER_THRESHOLD_SETTINGS,
                         include_off: bool = True,
-                        workers: Optional[int] = 1) -> List[ThresholdResult]:
+                        workers: Optional[int] = None) -> List[ThresholdResult]:
     """Fig. 10 / Table 2: sweep threshold settings over one population.
 
     ``workers`` fans each population's sessions out over processes

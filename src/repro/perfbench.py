@@ -171,14 +171,201 @@ def bench_parallel_ab_day(users_per_day: int = 10,
     identical = all(serial[s].sessions == parallel[s].sessions
                     for s in schemes)
     from repro.experiments.parallel import resolve_workers
+    effective = resolve_workers(workers)
     return {
         "users_per_day": users_per_day,
         "sessions": users_per_day * len(schemes),
-        "workers": resolve_workers(workers),
+        # "workers" kept for report-format compatibility; requested is
+        # what the caller asked for (None = cpu_count default),
+        # effective is what resolve_workers actually used.
+        "workers": effective,
+        "workers_requested": workers,
+        "workers_effective": effective,
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,
         "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
         "identical_metrics": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# hotpath family: the per-datagram pipeline, measured in isolation
+# ---------------------------------------------------------------------------
+
+
+def _legacy_seal_open(key: bytes, iv: bytes, plaintext: bytes, aad: bytes,
+                      cid_seq: int, pn: int) -> bytes:
+    """Frozen pre-overhaul AEAD (commit d4d478e): the bench baseline.
+
+    Per-call nonce construction, one sha256 per 32-byte block over
+    ``key || nonce || counter`` concatenations, and per-byte generator
+    XOR -- kept verbatim so ``speedup_vs_baseline`` measures the
+    vectorized implementation against the real predecessor rather than
+    a strawman.
+    """
+    import hashlib
+
+    def nonce_of() -> bytes:
+        combined = (cid_seq << 64) | pn
+        ppn = combined.to_bytes(12, "big")
+        ppn = b"\x00" * (len(iv) - len(ppn)) + ppn
+        return bytes(a ^ b for a, b in zip(ppn, iv))
+
+    def keystream(nonce: bytes, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            out.extend(hashlib.sha256(
+                key + nonce + counter.to_bytes(4, "big")).digest())
+            counter += 1
+        return bytes(out[:length])
+
+    def tag(nonce: bytes, ct: bytes) -> bytes:
+        return hashlib.sha256(b"tag" + key + nonce + aad + ct).digest()[:16]
+
+    # seal
+    nonce = nonce_of()
+    stream = keystream(nonce, len(plaintext))
+    ct = bytes(a ^ b for a, b in zip(plaintext, stream))
+    sealed = ct + tag(nonce, ct)
+    # open
+    ct2, tag2 = sealed[:-16], sealed[-16:]
+    nonce = nonce_of()
+    if tag(nonce, ct2) != tag2:
+        raise ValueError("AEAD authentication failed")
+    stream = keystream(nonce, len(ct2))
+    bytes(a ^ b for a, b in zip(ct2, stream))
+    return sealed
+
+
+def bench_hotpath_crypto(payload_bytes: int = 1350,
+                         iters: int = 1500) -> Dict[str, Any]:
+    """Seal+open bytes/sec, current vs the frozen pre-overhaul AEAD."""
+    from repro.quic.crypto import PacketProtection
+    prot = PacketProtection(key=b"hotpath-bench-key")
+    payload = bytes(range(256)) * (payload_bytes // 256 + 1)
+    payload = payload[:payload_bytes]
+    aad = b"\x40" + b"\x07" * 8 + b"\x00\x00\x00\x2a"
+
+    # bit-identity spot check against the frozen baseline
+    reference = _legacy_seal_open(prot.key, prot.iv, payload, aad, 1, 99)
+    assert prot.seal(payload, aad, 1, 99) == reference
+
+    t0 = time.perf_counter()
+    for pn in range(iters):
+        sealed = prot.seal(payload, aad, 1, pn)
+        prot.open(sealed, aad, 1, pn)
+    current_s = time.perf_counter() - t0
+
+    baseline_iters = max(iters // 10, 50)
+    t0 = time.perf_counter()
+    for pn in range(baseline_iters):
+        _legacy_seal_open(prot.key, prot.iv, payload, aad, 1, pn)
+    baseline_s = (time.perf_counter() - t0) * (iters / baseline_iters)
+
+    total_bytes = payload_bytes * iters
+    return {
+        "payload_bytes": payload_bytes,
+        "iters": iters,
+        "seconds": current_s,
+        "seal_open_bytes_per_sec": (total_bytes / current_s
+                                    if current_s > 0 else 0.0),
+        "baseline_bytes_per_sec": (total_bytes / baseline_s
+                                   if baseline_s > 0 else 0.0),
+        "speedup_vs_baseline": baseline_s / current_s if current_s else 0.0,
+    }
+
+
+def _established_pair():
+    """A client/server connection pair, established over a fast link."""
+    from repro.core import MinRttScheduler
+    from repro.netem import MultipathNetwork
+    from repro.quic.connection import Connection, ConnectionConfig
+
+    loop = EventLoop()
+    net = MultipathNetwork(loop)
+    net.add_simple_path(0, 1e9, 0.001)
+    client = Connection(
+        loop, ConnectionConfig(is_client=True, enable_multipath=True),
+        transmit=lambda pid, d: net.client.send(
+            Datagram(payload=d, path_id=pid)),
+        scheduler=MinRttScheduler(), connection_name="bench")
+    server = Connection(
+        loop, ConnectionConfig(is_client=False, enable_multipath=True),
+        transmit=lambda pid, d: net.server.send(
+            Datagram(payload=d, path_id=pid)),
+        scheduler=MinRttScheduler(), connection_name="bench")
+    net.client.on_receive(lambda d: client.datagram_received(d.payload,
+                                                            d.path_id))
+    net.server.on_receive(lambda d: server.datagram_received(d.payload,
+                                                             d.path_id))
+    client.add_local_path(0, 0)
+    server.add_local_path(0, 0)
+    client.connect()
+    loop.run(until=0.5)
+    if not (client.established and server.established):
+        raise RuntimeError("bench pair failed to establish")
+    return loop, client, server
+
+
+def bench_hotpath_datagrams(n_datagrams: int = 2000) -> Dict[str, Any]:
+    """Datagrams/sec through ``Connection.datagram_received``.
+
+    Pre-crafts ``n_datagrams`` valid 1-RTT packets (each a 1200-byte
+    STREAM frame on its own stream, distinct packet numbers) and times
+    only the receive loop: header decode, AEAD open, frame decode,
+    stream reassembly and ACK bookkeeping.
+    """
+    from repro.quic.frames import StreamFrame, encode_frames
+    from repro.quic.packets import encode_short_header
+
+    _loop, _client, server = _established_pair()
+    dcid = server.cids.issued[0].cid
+    data = b"d" * 1200
+    base_pn = 1 << 20
+    wire: List[bytes] = []
+    for i in range(n_datagrams):
+        payload = encode_frames([StreamFrame(stream_id=4 * i, offset=0,
+                                             data=data, fin=True)])
+        pn = base_pn + i
+        aad = encode_short_header(dcid, pn)
+        wire.append(aad + server.protection.seal(payload, aad, 0, pn))
+
+    before = server.stats.packets_received
+    t0 = time.perf_counter()
+    for datagram in wire:
+        server.datagram_received(datagram, 0)
+    elapsed = time.perf_counter() - t0
+    processed = server.stats.packets_received - before
+    if processed != n_datagrams:
+        raise RuntimeError(
+            f"hotpath bench processed {processed} != {n_datagrams}")
+    return {
+        "datagrams": n_datagrams,
+        "payload_bytes": len(data),
+        "seconds": elapsed,
+        "datagrams_per_sec": n_datagrams / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def bench_hotpath_pump(transfer_bytes: int = 4_000_000) -> Dict[str, Any]:
+    """Packets/sec through the send pump during a bulk transfer."""
+    loop, client, server = _established_pair()
+    stream_id = client.create_stream()
+    before = client.stats.packets_sent
+    t0 = time.perf_counter()
+    client.stream_send(stream_id, b"p" * transfer_bytes, fin=True)
+    loop.run(until=loop.now + 60.0)
+    elapsed = time.perf_counter() - t0
+    sent = client.stats.packets_sent - before
+    recv_stream = server.recv_streams.get(stream_id)
+    complete = recv_stream is not None and recv_stream.is_complete
+    return {
+        "transfer_bytes": transfer_bytes,
+        "packets_sent": sent,
+        "seconds": elapsed,
+        "packets_per_sec": sent / elapsed if elapsed > 0 else 0.0,
+        "complete": complete,
     }
 
 
@@ -206,6 +393,9 @@ def collect(n_events: int = 200_000, n_packets: int = 50_000,
             "chaos_soak": bench_chaos_soak(),
             "ab_day_parallel": bench_parallel_ab_day(ab_users,
                                                      workers=workers),
+            "hotpath_crypto": bench_hotpath_crypto(),
+            "hotpath_datagrams": bench_hotpath_datagrams(),
+            "hotpath_pump": bench_hotpath_pump(),
         },
     }
 
@@ -273,4 +463,19 @@ def format_report(report: Dict[str, Any]) -> str:
         f"(speedup {ab['speedup']:.2f}, "
         f"identical={ab['identical_metrics']})",
     ]
+    hc = b.get("hotpath_crypto")
+    if hc:
+        lines.append(
+            f"hotpath_crypto  {hc['seal_open_bytes_per_sec'] / 1e6:>12.1f} "
+            f"MB/s seal+open ({hc['speedup_vs_baseline']:.1f}x baseline)")
+    hd = b.get("hotpath_datagrams")
+    if hd:
+        lines.append(
+            f"hotpath_dgrams  {hd['datagrams_per_sec']:>12,.0f} "
+            f"datagrams/sec through datagram_received")
+    hp = b.get("hotpath_pump")
+    if hp:
+        lines.append(
+            f"hotpath_pump    {hp['packets_per_sec']:>12,.0f} "
+            f"packets/sec bulk transfer (complete={hp['complete']})")
     return "\n".join(lines)

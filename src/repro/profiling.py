@@ -1,0 +1,183 @@
+"""Profiling harness: run a scenario under cProfile, report hotspots.
+
+The perf work in this repo is measured, not asserted: `perfbench`
+tracks throughput numbers across PRs, and this module answers the
+*why* question -- where does a scenario actually spend its time?
+
+Usage (CLI)::
+
+    python -m repro profile contention
+    python -m repro profile session --top 15 --out profile.json
+
+Each run executes the named scenario under :mod:`cProfile`, prints a
+top-N hotspot table (sorted by cumulative time), and writes a JSON
+artifact with the full top-N rows plus scenario metadata so results
+can be diffed across commits.
+
+Scenarios are deliberately the same workloads the benchmarks use, so a
+hotspot found here maps directly onto a `BENCH_core.json` number.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: Registered scenarios: name -> (description, zero-arg runner factory).
+_SCENARIOS: Dict[str, tuple] = {}
+
+
+def _scenario(name: str, description: str) -> Callable:
+    def register(fn: Callable[[], Any]) -> Callable[[], Any]:
+        _SCENARIOS[name] = (description, fn)
+        return fn
+    return register
+
+
+@_scenario("session", "one reference xlink video session (seed 7)")
+def _run_session() -> Any:
+    from repro.experiments.harness import PathSpec, run_video_session
+    from repro.traces.radio_profiles import RadioType
+    paths = [
+        PathSpec(net_path_id=0, radio=RadioType.WIFI,
+                 one_way_delay_s=0.012, rate_bps=10e6),
+        PathSpec(net_path_id=1, radio=RadioType.LTE,
+                 one_way_delay_s=0.040, rate_bps=5e6),
+    ]
+    return run_video_session("xlink", paths, timeout_s=60.0, seed=7)
+
+
+@_scenario("contention", "ServerHost with 8 concurrent sessions (seed 11)")
+def _run_contention() -> Any:
+    from repro.experiments.contention import ContentionConfig, run_contention
+    return run_contention(ContentionConfig(sessions=8, seed=11,
+                                           video_duration_s=4.0))
+
+
+@_scenario("chaos", "chaos soak, 4 fault scenarios (seed 7)")
+def _run_chaos() -> Any:
+    from repro.experiments.chaos import ChaosSoakConfig, run_chaos_soak
+    return run_chaos_soak(ChaosSoakConfig(scenarios=4, seed=7))
+
+
+@_scenario("ab_day", "one serial A/B day, sp vs xlink (seed 3)")
+def _run_ab_day() -> Any:
+    from repro.experiments.abtest import ABTestConfig, run_ab_day
+    cfg = ABTestConfig(users_per_day=6, seed=3, video_duration_s=6.0)
+    return run_ab_day(cfg, 1, ["sp", "xlink"], workers=1)
+
+
+@_scenario("hotpath", "tight seal/open + datagram_received loop")
+def _run_hotpath() -> Any:
+    from repro.perfbench import bench_hotpath_crypto, bench_hotpath_datagrams
+    return {"crypto": bench_hotpath_crypto(),
+            "datagrams": bench_hotpath_datagrams()}
+
+
+def scenario_names() -> List[str]:
+    return sorted(_SCENARIOS)
+
+
+def scenarios() -> Dict[str, str]:
+    """Mapping of scenario name -> one-line description."""
+    return {name: desc for name, (desc, _fn) in sorted(_SCENARIOS.items())}
+
+
+def scenario_help() -> str:
+    return "; ".join(f"{name}: {desc}"
+                     for name, (desc, _fn) in sorted(_SCENARIOS.items()))
+
+
+@dataclass
+class Hotspot:
+    """One row of the profile table."""
+
+    function: str
+    file: str
+    line: int
+    ncalls: int
+    tottime: float
+    cumtime: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"function": self.function, "file": self.file,
+                "line": self.line, "ncalls": self.ncalls,
+                "tottime": self.tottime, "cumtime": self.cumtime}
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of one profiled scenario run."""
+
+    scenario: str
+    seconds: float
+    total_calls: int
+    hotspots: List[Hotspot] = field(default_factory=list)
+    artifact_path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seconds": self.seconds,
+            "total_calls": self.total_calls,
+            "hotspots": [h.to_dict() for h in self.hotspots],
+        }
+
+
+def _extract_hotspots(stats: pstats.Stats, top: int) -> List[Hotspot]:
+    rows: List[Hotspot] = []
+    entries = sorted(stats.stats.items(),  # type: ignore[attr-defined]
+                     key=lambda item: item[1][3], reverse=True)
+    for (file, line, func), (cc, nc, tt, ct, _callers) in entries[:top]:
+        rows.append(Hotspot(function=func, file=file, line=line,
+                            ncalls=nc, tottime=tt, cumtime=ct))
+    return rows
+
+
+def run_profile(scenario: str, top: int = 25,
+                out_path: Optional[str] = None) -> ProfileReport:
+    """Run ``scenario`` under cProfile; optionally write a JSON artifact."""
+    if scenario not in _SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {scenario_names()}")
+    _desc, fn = _SCENARIOS[scenario]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    report = ProfileReport(
+        scenario=scenario,
+        seconds=stats.total_tt,  # type: ignore[attr-defined]
+        total_calls=stats.total_calls,  # type: ignore[attr-defined]
+        hotspots=_extract_hotspots(stats, top),
+    )
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(report.to_dict(), f, indent=2)
+            f.write("\n")
+        report.artifact_path = out_path
+    return report
+
+
+def format_report(report: ProfileReport) -> str:
+    """Render a hotspot table (cumulative-time order)."""
+    lines = [
+        f"scenario {report.scenario}: {report.seconds:.3f}s profiled, "
+        f"{report.total_calls:,} calls",
+        f"{'ncalls':>10}  {'tottime':>8}  {'cumtime':>8}  function",
+    ]
+    for h in report.hotspots:
+        where = h.file
+        if "/" in where:
+            where = where.rsplit("/", 1)[-1]
+        label = f"{h.function} ({where}:{h.line})" if h.line else h.function
+        lines.append(f"{h.ncalls:>10,}  {h.tottime:>8.3f}  "
+                     f"{h.cumtime:>8.3f}  {label}")
+    if report.artifact_path:
+        lines.append(f"artifact written to {report.artifact_path}")
+    return "\n".join(lines)

@@ -45,7 +45,8 @@ from repro.quic.frames import (AckMpFrame, AckRange, ConnectionCloseFrame,
                                is_ack_eliciting)
 from repro.quic.loss_detection import SentPacket
 from repro.quic.packets import (PacketHeader, PacketType, decode_header,
-                                encode_header, reconstruct_pn)
+                                encode_header, encode_short_header,
+                                reconstruct_pn)
 from repro.quic.path import Path, PathState
 from repro.quic.stream import (DEFAULT_FRAME_PRIORITY, ReceiveStream,
                                SendStream)
@@ -649,17 +650,14 @@ class Connection:
             return
         # Split the fresh region on frame-priority boundaries so higher
         # priority ranges form their own chunks (used by Fig. 4c logic).
-        offset = queued
-        while offset < total:
-            prio = stream.frame_priority_at(offset)
-            end = offset
-            while end < total and stream.frame_priority_at(end) == prio:
-                end += 1
+        # priority_segments produces the same boundaries as scanning
+        # frame_priority_at byte-by-byte, without the per-byte cost.
+        for seg_start, seg_end, prio in stream.priority_segments(queued,
+                                                                 total):
             self.send_queue.append(SendChunk(
-                stream_id=stream.stream_id, offset=offset,
-                length=end - offset, kind="new",
+                stream_id=stream.stream_id, offset=seg_start,
+                length=seg_end - seg_start, kind="new",
                 stream_priority=stream.priority, frame_priority=prio))
-            offset = end
         self._stream_queued_offset[stream.stream_id] = total
         if total == queued and stream.fin_offset is not None:
             # FIN-only write: zero-length chunk to carry the FIN bit.
@@ -701,16 +699,19 @@ class Connection:
             hook(payload, net_path_id)
         if self.closed:
             return
+        # One view of the datagram; header/AAD/ciphertext slices below
+        # are all zero-copy until the AEAD produces the plaintext.
+        view = memoryview(payload)
         try:
-            header, offset = decode_header(payload)
+            header, offset = decode_header(view)
         except QuicError:
             self.stats.malformed_dropped += 1
             self._note_drop("malformed_header", len(payload))
             return
         if header.packet_type is PacketType.HANDSHAKE:
             try:
-                plain = self.protection.open(payload[offset:],
-                                             payload[:offset], 0,
+                plain = self.protection.open(view[offset:],
+                                             view[:offset], 0,
                                              header.truncated_pn)
             except ValueError:
                 self.stats.corrupted_dropped += 1
@@ -747,7 +748,7 @@ class Connection:
                 return
         pn = reconstruct_pn(header.truncated_pn, path.largest_received_pn)
         try:
-            plain = self.protection.open(payload[offset:], payload[:offset],
+            plain = self.protection.open(view[offset:], view[:offset],
                                          path_id, pn)
         except ValueError:
             self.stats.corrupted_dropped += 1
@@ -1124,9 +1125,9 @@ class Connection:
                      frames_info: tuple = ()) -> None:
         payload = encode_frames(frames)
         pn = path.next_packet_number()
-        header = PacketHeader(PacketType.ONE_RTT, dcid=path.remote_cid.cid,
-                              truncated_pn=pn)
-        aad = encode_header(header)
+        # Cached-prefix fast path; byte-identical to encode_header of a
+        # ONE_RTT PacketHeader with this DCID and packet number.
+        aad = encode_short_header(path.remote_cid.cid, pn)
         sealed = self.protection.seal(payload, aad, path.path_id, pn)
         wire = aad + sealed
         eliciting = any(is_ack_eliciting(f) for f in frames)

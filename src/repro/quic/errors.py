@@ -32,6 +32,16 @@ class FrameEncodingError(QuicError):
     error_code = TransportErrorCode.FRAME_ENCODING_ERROR
 
 
+class BufferReadError(FrameEncodingError, ValueError):
+    """Truncated read from a codec buffer.
+
+    Inherits :class:`ValueError` so pre-hardening callers that caught
+    the stdlib type keep working, while the chaos drop-counters can
+    classify short reads as ``malformed`` via the :class:`QuicError`
+    side of the MRO instead of crashing on a bare ``IndexError``.
+    """
+
+
 class FlowControlError(QuicError):
     error_code = TransportErrorCode.FLOW_CONTROL_ERROR
 

@@ -65,9 +65,38 @@ def encode_header(header: PacketHeader) -> bytes:
     return bytes(out)
 
 
-def decode_header(data: bytes) -> Tuple[PacketHeader, int]:
-    """Parse a header; returns (header, payload_offset)."""
-    if not data:
+#: dcid -> flags byte || dcid, the constant prefix of every short
+#: header sent on that connection ID (bounded FIFO).
+_SHORT_PREFIX_CACHE: dict = {}
+_SHORT_PREFIX_CACHE_MAX = 4096
+
+
+def encode_short_header(dcid: bytes, truncated_pn: int) -> bytes:
+    """Fast path for 1-RTT headers: cached prefix + 4-byte PN.
+
+    Byte-identical to ``encode_header(PacketHeader(ONE_RTT, dcid,
+    truncated_pn=pn))`` -- the send loop calls this once per packet,
+    so the flags-plus-DCID prefix is worth computing once per CID.
+    """
+    prefix = _SHORT_PREFIX_CACHE.get(dcid)
+    if prefix is None:
+        prefix = b"\x40" + dcid
+        if len(_SHORT_PREFIX_CACHE) >= _SHORT_PREFIX_CACHE_MAX:
+            _SHORT_PREFIX_CACHE.pop(next(iter(_SHORT_PREFIX_CACHE)))
+        _SHORT_PREFIX_CACHE[dcid] = prefix
+    return prefix + (truncated_pn % PN_TRUNC_MOD).to_bytes(
+        PN_TRUNC_BYTES, "big")
+
+
+def decode_header(data) -> Tuple[PacketHeader, int]:
+    """Parse a header; returns (header, payload_offset).
+
+    Accepts any bytes-like object (the receive path hands a
+    ``memoryview`` of the datagram).  CIDs are materialized as
+    ``bytes``: they key long-lived routing tables in the server host
+    and LB frontend, and a view would pin the whole datagram alive.
+    """
+    if not len(data):
         raise ProtocolViolation("empty packet")
     first = data[0]
     if first & 0x80:  # long header
@@ -76,13 +105,13 @@ def decode_header(data: bytes) -> Tuple[PacketHeader, int]:
             raise ProtocolViolation("truncated long header")
         dcid_len = data[pos]
         pos += 1
-        dcid = data[pos:pos + dcid_len]
+        dcid = bytes(data[pos:pos + dcid_len])
         pos += dcid_len
         if pos >= len(data):
             raise ProtocolViolation("truncated long header")
         scid_len = data[pos]
         pos += 1
-        scid = data[pos:pos + scid_len]
+        scid = bytes(data[pos:pos + scid_len])
         pos += scid_len
         if len(dcid) != dcid_len or len(scid) != scid_len:
             raise ProtocolViolation("truncated long header")
@@ -94,7 +123,7 @@ def decode_header(data: bytes) -> Tuple[PacketHeader, int]:
                             truncated_pn=pn), pos
     # short header: fixed-length DCID
     pos = 1
-    dcid = data[pos:pos + CID_LENGTH]
+    dcid = bytes(data[pos:pos + CID_LENGTH])
     if len(dcid) != CID_LENGTH:
         raise ProtocolViolation("truncated short header")
     pos += CID_LENGTH

@@ -102,6 +102,38 @@ class SendStream:
                 return rng.priority
         return DEFAULT_FRAME_PRIORITY
 
+    def priority_segments(self, start: int,
+                          end: int) -> List[Tuple[int, int, int]]:
+        """Split [start, end) into maximal runs of constant priority.
+
+        Returns ``(seg_start, seg_end, priority)`` triples, equivalent
+        to -- but O(ranges log ranges) instead of O(bytes * ranges) --
+        calling :meth:`frame_priority_at` on every byte and breaking
+        wherever the value changes.  Priority can only change at a
+        range endpoint, so it suffices to evaluate once per interval
+        between endpoints and merge equal-priority neighbours.
+        """
+        if start >= end:
+            return []
+        if not self._priority_ranges:
+            return [(start, end, DEFAULT_FRAME_PRIORITY)]
+        points = {start, end}
+        for rng in self._priority_ranges:
+            if start < rng.start < end:
+                points.add(rng.start)
+            if start < rng.end < end:
+                points.add(rng.end)
+        ordered = sorted(points)
+        segments: List[Tuple[int, int, int]] = []
+        for i in range(len(ordered) - 1):
+            seg_start = ordered[i]
+            priority = self.frame_priority_at(seg_start)
+            if segments and segments[-1][2] == priority:
+                segments[-1] = (segments[-1][0], ordered[i + 1], priority)
+            else:
+                segments.append((seg_start, ordered[i + 1], priority))
+        return segments
+
     def priority_range_end(self, priority: int) -> Optional[int]:
         """End offset of the (first) range at ``priority``, if any."""
         for rng in self._priority_ranges:
@@ -161,8 +193,11 @@ class ReceiveStream:
         dup = len(data) - sum(e - s for s, e in novel)
         self.duplicate_bytes += dup
         for seg_start, seg_end in novel:
-            self._segments[seg_start] = data[seg_start - offset:
-                                             seg_end - offset]
+            # bytes() materializes here: ``data`` may be a memoryview of
+            # the received datagram (zero-copy decode path), and stored
+            # segments must not pin that buffer alive.
+            self._segments[seg_start] = bytes(data[seg_start - offset:
+                                                   seg_end - offset])
             self._received.add(seg_start, seg_end)
 
     def read_available(self) -> bytes:

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Diff a fresh benchmark run against the committed BENCH_core.json.
+
+Guards the hot-path work from silent regressions: re-measures the
+cheap, stable benchmark families (``event_loop``, ``trace_link``, and
+the ``hotpath_*`` trio) and fails if any of them regressed more than
+``--threshold`` (default 30%) below the committed number.
+
+The expensive end-to-end families (multi_session, ab_day, chaos_soak)
+are intentionally *not* re-run here -- this runs inside ``make test``
+and must stay fast; the full suite is re-measured by ``make bench``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_compare.py            # vs BENCH_core.json
+    PYTHONPATH=src python tools/bench_compare.py --threshold 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (family, metric key) pairs compared; higher is better for all.
+CHECKS = [
+    ("event_loop", "events_per_sec"),
+    ("trace_link", "packets_per_sec"),
+    ("hotpath_crypto", "seal_open_bytes_per_sec"),
+    ("hotpath_datagrams", "datagrams_per_sec"),
+    ("hotpath_pump", "packets_per_sec"),
+]
+
+
+def fresh_measurements() -> dict:
+    from repro import perfbench
+    return {
+        "event_loop": perfbench.bench_event_loop(50_000),
+        "trace_link": perfbench.bench_trace_link(20_000),
+        "hotpath_crypto": perfbench.bench_hotpath_crypto(),
+        "hotpath_datagrams": perfbench.bench_hotpath_datagrams(),
+        "hotpath_pump": perfbench.bench_hotpath_pump(1_000_000),
+    }
+
+
+def compare(committed: dict, fresh: dict, threshold: float) -> int:
+    """Print a table; return the number of regressions beyond threshold."""
+    failures = 0
+    print(f"{'benchmark':<24} {'committed':>14} {'fresh':>14} {'ratio':>7}")
+    for family, metric in CHECKS:
+        base_entry = committed.get("benchmarks", {}).get(family)
+        if base_entry is None or metric not in base_entry:
+            print(f"{family:<24} {'(not committed)':>14} "
+                  f"{fresh[family][metric]:>14,.0f} {'--':>7}")
+            continue
+        base = base_entry[metric]
+        now = fresh[family][metric]
+        ratio = now / base if base > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - threshold:
+            failures += 1
+            flag = "  REGRESSION"
+        print(f"{family:<24} {base:>14,.0f} {now:>14,.0f} "
+              f"{ratio:>6.2f}x{flag}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_core.json",
+                        help="committed report to compare against")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as f:
+            committed = json.load(f)
+    except FileNotFoundError:
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+
+    failures = compare(committed, fresh_measurements(), args.threshold)
+    if failures:
+        print(f"\n{failures} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} below {args.baseline}", file=sys.stderr)
+        return 1
+    print(f"\nall benchmarks within {args.threshold:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
