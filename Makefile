@@ -2,14 +2,18 @@
 # importable without an editable install.
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test lint bench bench-pytest chaos profile-smoke bench-compare
+.PHONY: test lint bench bench-pytest bench-pump chaos profile-smoke \
+	pump-smoke bench-compare
 
 ## tier-1 verification: lint gate, the chaos soak, the full
 ## unit/integration suite, then the perf guards (profiling harness
-## smoke test + regression diff against the committed BENCH_core.json)
+## smoke test, pump smoke, and the regression diff against the
+## committed BENCH_core.json -- which also enforces the absolute
+## hotpath_pump / multi_session floors)
 test: lint chaos
 	$(PY) -m pytest -x -q
 	$(MAKE) profile-smoke
+	$(MAKE) pump-smoke
 	$(MAKE) bench-compare
 
 ## one short scenario under cProfile; asserts the JSON artifact exists
@@ -21,8 +25,23 @@ profile-smoke:
 	@$(PY) -c "import json; json.load(open('.profile_smoke.json'))"
 	@rm -f .profile_smoke.json
 
+## quick sanity on the batched scheduler: a small transfer must drain
+## completely through the run-until-blocked pump (catches deadlocks
+## and starvation fast, before the heavier bench-compare runs)
+pump-smoke:
+	@$(PY) -c "from repro.perfbench import bench_hotpath_pump as b; \
+		r = b(262_144); assert r['complete'], r; \
+		print('pump-smoke: complete, %.0f packets/sec' \
+		% r['packets_per_sec'])"
+
+## the full 4 MB pump benchmark, printed as JSON (no report written)
+bench-pump:
+	$(PY) -c "from repro.perfbench import bench_hotpath_pump; \
+		import json; print(json.dumps(bench_hotpath_pump(), indent=2))"
+
 ## fail on >30% regression vs the committed BENCH_core.json in the
-## event_loop, trace_link and hotpath benchmark families
+## event_loop, trace_link, hotpath and multi_session families, and on
+## any breach of the absolute hotpath_pump / multi_session floors
 bench-compare:
 	$(PY) tools/bench_compare.py
 

@@ -23,7 +23,9 @@ MAX_SESSION_WALL_S = 30.0
 MIN_SEAL_OPEN_BYTES_PER_SEC = 5_000_000
 MIN_CRYPTO_SPEEDUP = 2.0
 MIN_DATAGRAMS_PER_SEC = 1_000
-MIN_PUMP_PACKETS_PER_SEC = 300
+#: raised from 300 when the batched run-until-blocked pump landed;
+#: still ~3x under the steady-state on a loaded 1-CPU container
+MIN_PUMP_PACKETS_PER_SEC = 1_000
 
 
 class TestEventLoopThroughput:

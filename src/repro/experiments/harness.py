@@ -132,10 +132,10 @@ def _run_mptcp_download(loop: EventLoop, net: MultipathNetwork,
     net.server.on_receive(
         lambda d: server.datagram_received(d.payload, d.path_id))
     start = loop.now
+    client.on_complete = loop.request_stop
     client.request(total_bytes)
-    while client.completed_at is None and loop.now < timeout_s:
-        if not loop.step():
-            break
+    if client.completed_at is None and loop.now < timeout_s:
+        loop.run(stop_before=timeout_s)
     completed = client.completed_at is not None
     download_time = (client.completed_at - start) if completed else None
     return SessionResult(

@@ -175,10 +175,10 @@ def _run_mptcp_paced(paths: List[PathSpec], timeout_s: float,
         start = loop.now
         client._expected_total = target
         client.completed_at = None
+        client.on_complete = loop.request_stop
         client.request(target)  # the range request crosses the network
-        while client.completed_at is None and loop.now < start + timeout_s:
-            if not loop.step():
-                break
+        if client.completed_at is None and loop.now < start + timeout_s:
+            loop.run(stop_before=start + timeout_s)
         times.append((client.completed_at - start)
                      if client.completed_at is not None else timeout_s)
     return times

@@ -58,6 +58,7 @@ __all__ = [
     "SessionOutcome",
     "available_workers",
     "resolve_workers",
+    "effective_workers",
     "fan_out",
     "execute_session_task",
     "run_session_tasks",
@@ -74,6 +75,24 @@ def resolve_workers(workers: Optional[int]) -> int:
     if workers is None or workers <= 0:
         return available_workers()
     return int(workers)
+
+
+def effective_workers(workers: Optional[int], n_tasks: int) -> int:
+    """Worker count :func:`fan_out` will *actually* use for a task list.
+
+    This is the single source of truth for the pool-vs-serial decision,
+    so callers that record worker counts (the perf benches) cannot
+    drift from the dispatch behavior.  An explicitly requested count is
+    honored even when ``os.cpu_count()`` is smaller -- workers are
+    processes, and an experiment fan-out on a small container may still
+    want real sharding -- but it is clamped to the task count, and the
+    serial fallback applies when the resolved count is 1, there is at
+    most one task, or the platform cannot fork.
+    """
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or n_tasks <= 1 or not _fork_available():
+        return 1
+    return min(n_workers, n_tasks)
 
 
 def _fork_available() -> bool:
@@ -99,10 +118,9 @@ def fan_out(fn: Callable[..., Any], kwargs_list: Sequence[Dict[str, Any]],
     ``os.cpu_count()``, ``1`` forces the in-process serial path.
     """
     jobs = list(kwargs_list)
-    n_workers = resolve_workers(workers)
-    if n_workers <= 1 or len(jobs) <= 1 or not _fork_available():
+    n_workers = effective_workers(workers, len(jobs))
+    if n_workers <= 1:
         return [fn(**kwargs) for kwargs in jobs]
-    n_workers = min(n_workers, len(jobs))
     if chunksize is None:
         # ~4 dispatch rounds per worker balances pickling overhead
         # against tail latency from uneven session costs.

@@ -155,31 +155,43 @@ def bench_chaos_soak(scenarios: int = 6, seed: int = 7) -> Dict[str, Any]:
 def bench_parallel_ab_day(users_per_day: int = 10,
                           workers: Optional[int] = None,
                           seed: int = 3) -> Dict[str, Any]:
-    """One A/B day serial vs parallel: wall-clock, speedup, identity."""
+    """One A/B day serial vs parallel: wall-clock, speedup, identity.
+
+    ``workers=None`` requests ``max(2, cpu_count)`` rather than the
+    plain ``cpu_count`` default: on a 1-CPU container the old default
+    resolved to 1 and the "parallel" leg silently ran the serial
+    fallback, so the bench measured nothing and recorded
+    ``workers_effective: 1``.  Requesting 2 keeps the pool (and the
+    serial-vs-parallel identity check) exercised everywhere; the
+    speedup column is then honestly ~1.0 on a single core instead of
+    vacuously 1.0.
+    """
+    from repro.experiments.parallel import available_workers, effective_workers
     cfg = ABTestConfig(users_per_day=users_per_day, seed=seed,
                        video_duration_s=6.0)
     schemes = ["sp", "xlink"]
+    requested = workers if workers else max(2, available_workers())
+    n_tasks = users_per_day * len(schemes)
 
     t0 = time.perf_counter()
     serial = run_ab_day(cfg, 1, schemes, workers=1)
     serial_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    parallel = run_ab_day(cfg, 1, schemes, workers=workers)
+    parallel = run_ab_day(cfg, 1, schemes, workers=requested)
     parallel_s = time.perf_counter() - t0
 
     identical = all(serial[s].sessions == parallel[s].sessions
                     for s in schemes)
-    from repro.experiments.parallel import resolve_workers
-    effective = resolve_workers(workers)
+    effective = effective_workers(requested, n_tasks)
     return {
         "users_per_day": users_per_day,
-        "sessions": users_per_day * len(schemes),
+        "sessions": n_tasks,
         # "workers" kept for report-format compatibility; requested is
-        # what the caller asked for (None = cpu_count default),
-        # effective is what resolve_workers actually used.
+        # what the parallel leg asked the pool for, effective is what
+        # fan_out's dispatch decision actually used.
         "workers": effective,
-        "workers_requested": workers,
+        "workers_requested": requested,
         "workers_effective": effective,
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,

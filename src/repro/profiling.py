@@ -78,6 +78,12 @@ def _run_hotpath() -> Any:
             "datagrams": bench_hotpath_datagrams()}
 
 
+@_scenario("pump", "batched-pump 1 MB bulk download, full stack")
+def _run_pump() -> Any:
+    from repro.perfbench import bench_hotpath_pump
+    return bench_hotpath_pump(1_000_000)
+
+
 def scenario_names() -> List[str]:
     return sorted(_SCENARIOS)
 

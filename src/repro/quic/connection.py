@@ -36,7 +36,7 @@ from repro.quic.cc.base import MAX_DATAGRAM_SIZE
 from repro.quic.cid import CidRegistry, ConnectionId
 from repro.quic.crypto import PacketProtection, TAG_LENGTH, derive_connection_key
 from repro.quic.errors import ProtocolViolation, QuicError
-from repro.quic.frames import (AckMpFrame, AckRange, ConnectionCloseFrame,
+from repro.quic.frames import (AckMpFrame, ConnectionCloseFrame,
                                CryptoFrame, MaxDataFrame, MaxStreamDataFrame,
                                NewConnectionIdFrame, PathChallengeFrame,
                                PathResponseFrame, PathStatus, PathStatusFrame,
@@ -277,6 +277,9 @@ class Connection:
         self.drop_hooks: List[Callable[[str, int], None]] = []
 
         self._timer_event = None
+        #: live loss-timer deadline; the armed event may lag behind it
+        #: (lazy-deadline timers -- see _arm_loss_timer)
+        self._loss_deadline: Optional[float] = None
         self._ack_timer_event = None
         self._pending_control: Dict[int, List[object]] = {}
         self._handshake_sent = False
@@ -950,8 +953,8 @@ class Connection:
         """Emit an ACK_MP for ``path`` via the ACK return-path policy."""
         if not path.ack_pending or not path.ack_needed:
             return
-        ranges = tuple(AckRange(start=s, end=e) for s, e in path.ack_pending)
-        largest = max(r.end for r in ranges)
+        ranges = path.ack_frame_ranges()
+        largest = ranges[-1].end
         delay_us = int((self.loop.now - path.largest_recv_time) * 1e6)
         qoe = None
         if self.qoe_provider is not None:
@@ -1286,12 +1289,23 @@ class Connection:
             t = path.loss.next_timer()
             if t is not None:
                 deadlines.append(t)
-        if self._timer_event is not None:
-            self._timer_event.cancel()
-            self._timer_event = None
         if not deadlines:
+            self._loss_deadline = None
+            if self._timer_event is not None:
+                self._timer_event.cancel()
+                self._timer_event = None
             return
         when = max(min(deadlines), self.loop.now)
+        self._loss_deadline = when
+        event = self._timer_event
+        if event is not None:
+            if event.time <= when:
+                # Lazy-deadline timer: keep the armed wakeup.  If the
+                # live deadline moved later, the wakeup fires stale and
+                # _on_loss_timer re-arms -- cheaper than paying a heap
+                # cancel+push every time the deadline drifts.
+                return
+            event.cancel()
         self._timer_event = self.loop.schedule_at(
             when, self._on_loss_timer, label="loss-timer")
 
@@ -1300,6 +1314,16 @@ class Connection:
         if self.closed:
             return
         now = self.loop.now
+        deadline = self._loss_deadline
+        if deadline is not None and deadline > now + 1e-9:
+            # Stale wakeup: every deadline moved later after this event
+            # was armed, so no path can be due (the per-path checks
+            # below use the same 1e-9 slack).  Re-arm from live loss
+            # state and return *without* running loss detection or the
+            # pump -- exactly what would have happened had the old
+            # wakeup been cancelled eagerly.
+            self._arm_loss_timer()
+            return
         for path in self.paths.values():
             if path.state is PathState.ABANDONED:
                 continue

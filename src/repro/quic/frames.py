@@ -232,15 +232,43 @@ Frame = object  # frames are plain dataclasses; this alias aids readability
 # ---------------------------------------------------------------------------
 
 
+#: Wire-tail caches for the ACK range codecs.  On a path with permanent
+#: packet-number gaps (datagrams dropped and never resent under the
+#: same pn) every ACK repeats the same old ranges and only the newest
+#: range grows, so the gap/length varint region for ``ranges[1:]`` is
+#: byte-identical between consecutive ACKs.  Both caches are keyed by
+#: ``(range count, start of the newest range)`` and verified against
+#: the actual content before use -- the encode side compares the tail
+#: range tuple, the decode side compares the raw tail bytes -- so a
+#: hit reproduces exactly what the slow path would have produced.
+_ACK_ENC_TAIL_CACHE: dict = {}
+_ACK_DEC_TAIL_CACHE: dict = {}
+_ACK_TAIL_CACHE_MAX = 256
+
+
 def _encode_ack_ranges(buf: Buffer, largest: int,
                        ranges: Tuple[AckRange, ...]) -> None:
     """ACK range encoding per RFC 9000: first range + gap/length pairs."""
+    n = len(ranges)
+    ascending = n > 1 and ranges[n - 1].end == largest
+    if ascending:
+        # Ascending layout (how the connection builds ACK frames): the
+        # newest range sits last and everything before it is the tail.
+        newest = ranges[n - 1]
+        entry = _ACK_ENC_TAIL_CACHE.get((n, newest.start))
+        if entry is not None and entry[0] == ranges[:n - 1]:
+            buf.push_varint(n - 1)
+            buf.push_varint(largest - newest.start)
+            buf.push_bytes(entry[1])
+            return
     ordered = sorted(ranges, key=lambda r: r.end, reverse=True)
     if not ordered or ordered[0].end != largest:
         raise FrameEncodingError("largest_acked must end the first range")
     buf.push_varint(len(ordered) - 1)
     buf.push_varint(largest - ordered[0].start)  # first ack range
     prev_start = ordered[0].start
+    writer = buf._writer()
+    tail_from = len(writer)
     for rng in ordered[1:]:
         gap = prev_start - rng.end - 2
         if gap < 0:
@@ -248,6 +276,11 @@ def _encode_ack_ranges(buf: Buffer, largest: int,
         buf.push_varint(gap)
         buf.push_varint(rng.end - rng.start)
         prev_start = rng.start
+    if ascending:
+        if len(_ACK_ENC_TAIL_CACHE) >= _ACK_TAIL_CACHE_MAX:
+            _ACK_ENC_TAIL_CACHE.clear()
+        _ACK_ENC_TAIL_CACHE[(n, ranges[n - 1].start)] = (
+            ranges[:n - 1], bytes(writer[tail_from:]))
 
 
 def _decode_ack_ranges(buf: Buffer, largest: int) -> Tuple[AckRange, ...]:
@@ -257,14 +290,29 @@ def _decode_ack_ranges(buf: Buffer, largest: int) -> Tuple[AckRange, ...]:
     if count * 2 > buf.remaining:
         raise FrameEncodingError(f"ack range count {count} exceeds payload")
     first_len = buf.pull_varint()
-    ranges = [AckRange(start=largest - first_len, end=largest)]
     prev_start = largest - first_len
+    first = AckRange(start=prev_start, end=largest)
+    if count == 0:
+        return (first,)
+    entry = _ACK_DEC_TAIL_CACHE.get((count, prev_start))
+    if entry is not None:
+        tail_bytes, tail_ranges = entry
+        pos = buf._pos
+        if buf._read_data[pos:pos + len(tail_bytes)] == tail_bytes:
+            buf._pos = pos + len(tail_bytes)
+            return (first,) + tail_ranges
+    tail_from = buf._pos
+    ranges = [first]
     for _ in range(count):
         gap = buf.pull_varint()
         length = buf.pull_varint()
         end = prev_start - gap - 2
         ranges.append(AckRange(start=end - length, end=end))
         prev_start = end - length
+    if len(_ACK_DEC_TAIL_CACHE) >= _ACK_TAIL_CACHE_MAX:
+        _ACK_DEC_TAIL_CACHE.clear()
+    _ACK_DEC_TAIL_CACHE[(count, largest - first_len)] = (
+        bytes(buf._read_data[tail_from:buf._pos]), tuple(ranges[1:]))
     return tuple(ranges)
 
 

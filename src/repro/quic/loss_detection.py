@@ -7,12 +7,25 @@ timeout (PTO) with exponential backoff.
 
 The connection registers callbacks: ``on_lost`` re-queues stream data;
 ``on_pto`` triggers a probe.
+
+Hot-path layout: packets are sent with monotonically increasing packet
+numbers at monotonically non-decreasing times, so ``self.sent`` (a
+plain insertion-ordered dict) *is* the packet-number-sorted, sent-time-
+sorted in-flight ring -- no ``sorted()`` calls, no per-ACK scans over
+the full packet-number history.  Aggregate counters
+(``bytes_in_flight``, the ack-eliciting census, the oldest in-flight
+entry) are maintained incrementally on send/ack/loss instead of being
+recomputed by O(in-flight) sweeps on every timer query.  Tests that
+drive the detector out of order (or poke ``sent`` directly) are still
+supported: an ``_ordered`` flag drops the fast paths back to the
+original sort/scan behaviour the moment the invariant breaks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.quic.frames import AckRange
 from repro.quic.rtt import GRANULARITY, RttEstimator
@@ -20,6 +33,10 @@ from repro.quic.rtt import GRANULARITY, RttEstimator
 PACKET_THRESHOLD = 3
 TIME_THRESHOLD = 9.0 / 8.0
 MAX_PTO_COUNT = 10
+
+#: ACK ranges at most this wide are probed packet-number by packet
+#: number; wider ranges walk the (typically sparser) in-flight dict.
+_DENSE_RANGE_SPAN = 8
 
 
 @dataclass(slots=True)
@@ -51,13 +68,54 @@ class PathLossDetector:
         self.packets_acked_total = 0
         self.spurious_losses = 0
         self._declared_lost: set[int] = set()
+        #: incremental aggregates (exact while the send API is used;
+        #: the properties fall back to scans when they disagree with
+        #: the dict, covering tests that poke ``sent`` directly)
+        self._bytes_in_flight = 0
+        self._eliciting_in_flight = 0
+        self._tracked_count = 0
+        #: True while insertion order == ascending packet number and
+        #: non-decreasing sent time (always, for a live connection)
+        self._ordered = True
+        self._last_pn = -1
+        self._last_sent_time = float("-inf")
+        #: the ``ranges[1:]`` of the last fully processed ACK; a later
+        #: ACK repeating the same tail can skip re-walking it entirely
+        self._last_ack_tail: Tuple[AckRange, ...] = ()
 
     # -- send/ack/loss machinery ------------------------------------------
 
     def on_packet_sent(self, pkt: SentPacket) -> None:
-        if pkt.packet_number in self.sent:
-            raise ValueError(f"duplicate packet number {pkt.packet_number}")
-        self.sent[pkt.packet_number] = pkt
+        pn = pkt.packet_number
+        if pn in self.sent:
+            raise ValueError(f"duplicate packet number {pn}")
+        if pn < self._last_pn or pkt.sent_time < self._last_sent_time:
+            self._ordered = False
+        else:
+            self._last_pn = pn
+            self._last_sent_time = pkt.sent_time
+        self.sent[pn] = pkt
+        self._tracked_count += 1
+        if pkt.ack_eliciting:
+            self._eliciting_in_flight += 1
+        if pkt.in_flight:
+            self._bytes_in_flight += pkt.size
+
+    def _forget(self, pkt: SentPacket) -> None:
+        """Update the aggregates for a packet leaving ``sent``."""
+        if self._tracked_count > 0:
+            self._tracked_count -= 1
+        if pkt.ack_eliciting and self._eliciting_in_flight > 0:
+            self._eliciting_in_flight -= 1
+        if pkt.in_flight:
+            self._bytes_in_flight -= pkt.size
+            if self._bytes_in_flight < 0:
+                self._bytes_in_flight = 0
+
+    def _pns_ascending(self) -> List[int]:
+        if self._ordered:
+            return list(self.sent)
+        return sorted(self.sent)
 
     def on_ack_received(
         self, ranges: Tuple[AckRange, ...], ack_delay: float, now: float,
@@ -67,16 +125,66 @@ class PathLossDetector:
         Returns (newly_acked, newly_lost, rtt_sample).
         """
         newly_acked: List[SentPacket] = []
-        largest_in_ack = max(r.end for r in ranges)
-        for rng in ranges:
-            for pn in range(rng.start, rng.end + 1):
-                pkt = self.sent.pop(pn, None)
-                if pkt is not None:
-                    newly_acked.append(pkt)
-                    self.packets_acked_total += 1
-                elif pn in self._declared_lost:
-                    self._declared_lost.discard(pn)
+        tail = ranges[1:]
+        if tail and tail == self._last_ack_tail:
+            # Every tail range was fully processed by a previous ACK on
+            # this path.  Packet numbers are never reused, so a range
+            # once drained from ``sent`` can never match it again, and
+            # a pn covered by a processed range can no longer enter
+            # ``_declared_lost`` (it would have had to still be in
+            # ``sent``).  Re-walking the tail is a guaranteed no-op --
+            # only the newest range can acknowledge anything new.  For
+            # the same reason every tail end <= self.largest_acked, so
+            # the observable largest is the newest range's end.
+            largest_in_ack = ranges[0].end
+            process = ranges[:1]
+        else:
+            largest_in_ack = max(r.end for r in ranges)
+            process = ranges
+        sent = self.sent
+        declared = self._declared_lost
+        #: snapshot of tracked pns, built lazily on the first wide
+        #: range and shared across ranges (they are disjoint, so a pn
+        #: popped by one range can never be probed again by another)
+        snapshot: Optional[List[int]] = None
+        for rng in process:
+            start, end = rng.start, rng.end
+            if end - start < _DENSE_RANGE_SPAN:
+                # Narrow range: probe every covered packet number.
+                for pn in range(start, end + 1):
+                    pkt = sent.pop(pn, None)
+                    if pkt is not None:
+                        newly_acked.append(pkt)
+                        self.packets_acked_total += 1
+                        self._forget(pkt)
+                    elif pn in declared:
+                        declared.discard(pn)
+                        self.spurious_losses += 1
+                continue
+            # Wide (cumulative) range: intersect with what is actually
+            # tracked instead of iterating the full packet-number span.
+            if snapshot is None:
+                snapshot = self._pns_ascending()
+            lo = bisect_left(snapshot, start)
+            hi = bisect_right(snapshot, end)
+            for pn in snapshot[lo:hi]:
+                pkt = sent.pop(pn, None)
+                if pkt is None:
+                    continue
+                newly_acked.append(pkt)
+                self.packets_acked_total += 1
+                self._forget(pkt)
+            if declared:
+                if len(declared) <= end - start + 1:
+                    spurious = sorted(pn for pn in declared
+                                      if start <= pn <= end)
+                else:
+                    spurious = [pn for pn in range(start, end + 1)
+                                if pn in declared]
+                for pn in spurious:
+                    declared.discard(pn)
                     self.spurious_losses += 1
+        self._last_ack_tail = tail
         rtt_sample: Optional[float] = None
         if largest_in_ack > self.largest_acked:
             self.largest_acked = largest_in_ack
@@ -100,15 +208,20 @@ class PathLossDetector:
         loss_delay = TIME_THRESHOLD * max(self.rtt.latest or self.rtt.smoothed,
                                           self.rtt.smoothed, GRANULARITY)
         lost: List[SentPacket] = []
-        for pn in sorted(self.sent):
-            if pn > self.largest_acked:
+        largest_acked = self.largest_acked
+        ordered = self._ordered
+        sent = self.sent
+        for pn in (sent if ordered else sorted(sent)):
+            if pn > largest_acked:
+                if ordered:
+                    break  # ascending: nothing further can be <= largest
                 continue
-            pkt = self.sent[pn]
+            pkt = sent[pn]
             # The 1e-9 slack matches the timer-fire comparison in the
             # connection; without it the timer can re-arm at the same
             # instant forever when it fires exactly at the threshold.
             too_old = pkt.sent_time - 1e-9 <= now - loss_delay
-            too_far = self.largest_acked - pn >= PACKET_THRESHOLD
+            too_far = largest_acked - pn >= PACKET_THRESHOLD
             if too_old or too_far:
                 lost.append(pkt)
             else:
@@ -116,9 +229,10 @@ class PathLossDetector:
                 if self.loss_time is None or candidate < self.loss_time:
                     self.loss_time = candidate
         for pkt in lost:
-            del self.sent[pkt.packet_number]
+            del sent[pkt.packet_number]
             self._declared_lost.add(pkt.packet_number)
             self.packets_lost_total += 1
+            self._forget(pkt)
         return lost
 
     def on_loss_timer(self, now: float) -> List[SentPacket]:
@@ -133,27 +247,47 @@ class PathLossDetector:
         in packet-number order for the caller to release to congestion
         control and requeue.
         """
-        pkts = [self.sent[pn] for pn in sorted(self.sent)]
+        pkts = [self.sent[pn] for pn in self._pns_ascending()]
         self.sent.clear()
         self.loss_time = None
+        self._bytes_in_flight = 0
+        self._eliciting_in_flight = 0
+        self._tracked_count = 0
+        self._last_ack_tail = ()
         return pkts
 
     # -- timers -------------------------------------------------------------
 
     def pto_deadline(self) -> Optional[float]:
         """Absolute time at which PTO fires, based on oldest in-flight."""
-        eliciting = [p for p in self.sent.values() if p.ack_eliciting]
-        if not eliciting:
+        base: Optional[float] = None
+        if self._ordered and len(self.sent) == self._tracked_count:
+            # Sent times are non-decreasing in insertion order, so the
+            # first ack-eliciting entry carries the minimum sent time.
+            if self._eliciting_in_flight > 0:
+                for p in self.sent.values():
+                    if p.ack_eliciting:
+                        base = p.sent_time
+                        break
+        else:
+            eliciting = [p.sent_time for p in self.sent.values()
+                         if p.ack_eliciting]
+            if eliciting:
+                base = min(eliciting)
+        if base is None:
             return None
-        base = min(p.sent_time for p in eliciting)
         pto = self.rtt.pto(self.max_ack_delay) * (2 ** self.pto_count)
         return base + pto
 
     def next_timer(self) -> Optional[float]:
         """Earlier of loss timer and PTO timer."""
-        candidates = [t for t in (self.loss_time, self.pto_deadline())
-                      if t is not None]
-        return min(candidates) if candidates else None
+        loss_time = self.loss_time
+        pto = self.pto_deadline()
+        if loss_time is None:
+            return pto
+        if pto is None:
+            return loss_time
+        return loss_time if loss_time < pto else pto
 
     def on_pto(self) -> None:
         self.pto_count = min(self.pto_count + 1, MAX_PTO_COUNT)
@@ -161,13 +295,26 @@ class PathLossDetector:
     def oldest_unacked(self) -> Optional[SentPacket]:
         if not self.sent:
             return None
+        if self._ordered:
+            return next(iter(self.sent.values()))
         return self.sent[min(self.sent)]
 
     @property
     def has_unacked(self) -> bool:
         """True if ack-eliciting packets are outstanding (Eq. 1's filter)."""
-        return any(p.ack_eliciting for p in self.sent.values())
+        if self._eliciting_in_flight > 0:
+            return True
+        sent = self.sent
+        if not sent:
+            return False
+        if len(sent) == self._tracked_count:
+            # Counters are exact: everything in flight is non-eliciting.
+            return False
+        # A test bypassed on_packet_sent (dict poked directly) -- re-scan.
+        return any(p.ack_eliciting for p in sent.values())
 
     @property
     def bytes_in_flight(self) -> int:
+        if len(self.sent) == self._tracked_count:
+            return self._bytes_in_flight
         return sum(p.size for p in self.sent.values() if p.in_flight)

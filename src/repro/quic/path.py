@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.quic.cid import ConnectionId
-from repro.quic.frames import PathStatus
+from repro.quic.frames import AckRange, PathStatus
 from repro.quic.loss_detection import PathLossDetector
 from repro.quic.rtt import RttEstimator
 from repro.traces.radio_profiles import RadioType
@@ -50,6 +50,10 @@ class Path:
         #: receive-side: pending ack ranges + whether an ack is owed
         self.ack_pending: list = []
         self.ack_needed = False
+        #: frame-tuple cache for :meth:`ack_frame_ranges`; ``_ack_rev``
+        #: is bumped whenever ``ack_pending`` is rebuilt structurally
+        self._ack_rev = 0
+        self._ack_frame_cache: Optional[tuple] = None
         self.largest_recv_time = 0.0
         #: when anything was last received on this path (freshness)
         self.last_recv_time = 0.0
@@ -92,7 +96,28 @@ class Path:
     def record_received(self, pn: int, now: float) -> bool:
         """Track a received packet number; returns False on duplicate."""
         self.last_recv_time = now
-        for rng in self.ack_pending:
+        ranges = self.ack_pending
+        if ranges:
+            # In-order fast path: ``ranges`` is sorted and disjoint, so
+            # a pn one past the newest range extends it in place -- the
+            # overwhelmingly common case on a healthy path -- and the
+            # duplicate check only needs the covering candidate.
+            last = ranges[-1]
+            if pn == last[1] + 1:
+                ranges[-1] = (last[0], pn)
+                self.largest_received_pn = pn
+                self.largest_recv_time = now
+                self.ack_needed = True
+                return True
+            if last[0] <= pn <= last[1]:
+                return False
+            if pn > last[1] + 1:
+                ranges.append((pn, pn))
+                self.largest_received_pn = pn
+                self.largest_recv_time = now
+                self.ack_needed = True
+                return True
+        for rng in ranges:
             if rng[0] <= pn <= rng[1]:
                 return False
         self._merge_ack_range(pn)
@@ -102,7 +127,34 @@ class Path:
         self.ack_needed = True
         return True
 
+    def ack_frame_ranges(self) -> tuple:
+        """``ack_pending`` as a tuple of :class:`AckRange` for ACK frames.
+
+        Between ACKs only the newest range normally changes (it extends
+        in place as in-order packets arrive), so the tuple prefix --
+        potentially hundreds of ranges on a path with permanent loss
+        gaps -- is cached and only the last element is rebuilt.  The
+        same ``AckRange`` objects are reused across calls, which also
+        lets the frame encoder's tail cache verify by identity-fast
+        tuple comparison.
+        """
+        ranges = self.ack_pending
+        n = len(ranges)
+        last_s, last_e = ranges[-1]
+        cached = self._ack_frame_cache
+        if cached is not None and cached[0] == self._ack_rev \
+                and cached[1] == n and cached[2][-1].start == last_s:
+            tup = cached[2]
+            if tup[-1].end != last_e:
+                tup = tup[:-1] + (AckRange(start=last_s, end=last_e),)
+                self._ack_frame_cache = (self._ack_rev, n, tup)
+            return tup
+        tup = tuple(AckRange(start=s, end=e) for s, e in ranges)
+        self._ack_frame_cache = (self._ack_rev, n, tup)
+        return tup
+
     def _merge_ack_range(self, pn: int) -> None:
+        self._ack_rev += 1
         new_ranges = []
         start, end = pn, pn
         for s, e in self.ack_pending:

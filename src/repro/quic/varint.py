@@ -116,7 +116,13 @@ class Buffer:
         return wbuf
 
     def push_varint(self, value: int) -> "Buffer":
-        self._writer().extend(encode_varint(value))
+        wbuf = self._wbuf
+        if wbuf is None:
+            wbuf = self._writer()
+        if 0 <= value < 64:
+            wbuf.append(value)  # 1-byte varint: prefix bits are 00
+        else:
+            wbuf.extend(encode_varint(value))
         return self
 
     def push_bytes(self, data: Union[bytes, memoryview]) -> "Buffer":
@@ -135,7 +141,14 @@ class Buffer:
     # -- reading --------------------------------------------------------
 
     def pull_varint(self) -> int:
-        value, self._pos = decode_varint(self._read_data, self._pos)
+        data = self._read_data
+        pos = self._pos
+        if pos < len(data):
+            first = data[pos]
+            if first < 0x40:  # 1-byte varint
+                self._pos = pos + 1
+                return first
+        value, self._pos = decode_varint(data, pos)
         return value
 
     def pull_bytes(self, n: int) -> Union[bytes, memoryview]:

@@ -69,6 +69,7 @@ class EventLoop:
         self._running = False
         self._events_run = 0
         self._cancelled_pending = 0
+        self._stop_requested = False
 
     @property
     def now(self) -> float:
@@ -142,24 +143,45 @@ class EventLoop:
             return True
         return False
 
+    def request_stop(self) -> None:
+        """Ask a running :meth:`run` to return after the current event.
+
+        Lets batched drivers (``repro.host.runtime``) run the loop in
+        one tight native loop and still stop the instant a callback
+        observes its completion condition, instead of re-evaluating the
+        condition between every pair of events.
+        """
+        self._stop_requested = True
+
     def run(self, until: Optional[float] = None,
-            max_events: int = 50_000_000) -> float:
+            max_events: int = 50_000_000,
+            stop_before: Optional[float] = None) -> float:
         """Run events until the queue drains or virtual ``until`` is reached.
 
         Returns the final virtual time.  ``max_events`` is a runaway
         guard: exactly ``max_events`` events may execute; the guard
         raises :class:`SimulationError` only when a further live event
         is still pending (so a queue that drains at the limit is fine).
+
+        ``stop_before`` reproduces the classic ``while loop.now < t:
+        step()`` driver exactly: the event that carries the clock to or
+        past ``stop_before`` still executes, and the loop returns
+        before running the one after it.  (``until`` is different: it
+        stops *before* crossing the horizon and advances the clock to
+        exactly ``until``.)
         """
         if self._running:
             raise SimulationError("event loop is not reentrant")
         self._running = True
+        self._stop_requested = False
         heap = self._heap          # compaction mutates in place, so this
         clock = self.clock         # local stays valid across callbacks
         pop = heapq.heappop
         executed = 0
         try:
             while heap:
+                if stop_before is not None and clock._now >= stop_before:
+                    break
                 entry = heap[0]
                 event = entry[2]
                 if event.cancelled:
@@ -178,6 +200,8 @@ class EventLoop:
                 clock._now = time  # monotonic: schedule_at rejects the past
                 executed += 1
                 event.callback()
+                if self._stop_requested:
+                    break
             return clock._now
         finally:
             self._events_run += executed
