@@ -54,14 +54,39 @@ FLOORS = {
 }
 
 
+#: Samples per cheap family.  Perf noise on a shared container is
+#: one-sided -- a noisy neighbor or an unramped frequency governor
+#: only ever makes a run *slower* -- so best-of-N recovers the
+#: machine's actual capability and stops a single slow sample from
+#: flagging a phantom regression.  (Observed: the micro families
+#: swing 2x within minutes on the 1-CPU reference box.)
+SAMPLES = 3
+
+
+def _best_of(fn, metric: str, *args):
+    best = None
+    for _ in range(SAMPLES):
+        result = fn(*args)
+        if best is None or result[metric] > best[metric]:
+            best = result
+    return best
+
+
 def fresh_measurements() -> dict:
     from repro import perfbench
     return {
-        "event_loop": perfbench.bench_event_loop(50_000),
-        "trace_link": perfbench.bench_trace_link(20_000),
-        "hotpath_crypto": perfbench.bench_hotpath_crypto(),
-        "hotpath_datagrams": perfbench.bench_hotpath_datagrams(),
-        "hotpath_pump": perfbench.bench_hotpath_pump(1_000_000),
+        "event_loop": _best_of(perfbench.bench_event_loop,
+                               "events_per_sec", 50_000),
+        "trace_link": _best_of(perfbench.bench_trace_link,
+                               "packets_per_sec", 20_000),
+        "hotpath_crypto": _best_of(perfbench.bench_hotpath_crypto,
+                                   "seal_open_bytes_per_sec"),
+        "hotpath_datagrams": _best_of(perfbench.bench_hotpath_datagrams,
+                                      "datagrams_per_sec"),
+        "hotpath_pump": _best_of(perfbench.bench_hotpath_pump,
+                                 "packets_per_sec", 1_000_000),
+        # ~5s per run: sampled once; its floor is a catastrophe guard
+        # and its ratio gets the same 30% slack as everything else.
         "multi_session": perfbench.bench_multi_session(),
     }
 
