@@ -3,17 +3,18 @@
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
 .PHONY: test lint bench bench-pytest bench-pump chaos profile-smoke \
-	pump-smoke bench-compare
+	pump-smoke fleet-smoke bench-compare
 
 ## tier-1 verification: lint gate, the chaos soak, the full
 ## unit/integration suite, then the perf guards (profiling harness
-## smoke test, pump smoke, and the regression diff against the
-## committed BENCH_core.json -- which also enforces the absolute
-## hotpath_pump / multi_session floors)
+## smoke test, pump smoke, fleet determinism smoke, and the regression
+## diff against the committed BENCH_core.json -- which also enforces
+## the absolute hotpath_pump / multi_session / fleet floors)
 test: lint chaos
 	$(PY) -m pytest -x -q
 	$(MAKE) profile-smoke
 	$(MAKE) pump-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) bench-compare
 
 ## one short scenario under cProfile; asserts the JSON artifact exists
@@ -33,6 +34,23 @@ pump-smoke:
 		r = b(262_144); assert r['complete'], r; \
 		print('pump-smoke: complete, %.0f packets/sec' \
 		% r['packets_per_sec'])"
+
+## fleet determinism contract: a small sharded population run must
+## engage >= 2 pool workers and merge to the exact digest of the
+## serial run (order-independent sketch/sink arithmetic)
+fleet-smoke:
+	@$(PY) -c "from repro.experiments.fleet import (ABPopulationDriver, \
+		FleetConfig, run_fleet_driver); \
+		cfg = FleetConfig(users=8, seed=5); \
+		a = run_fleet_driver(ABPopulationDriver(cfg), workers=1, \
+		shard_size=3); \
+		b = run_fleet_driver(ABPopulationDriver(cfg), workers=2, \
+		shard_size=3); \
+		da, db = a.sink.digest(), b.sink.digest(); \
+		assert da == db, (da, db); \
+		assert b.result.workers_effective >= 2, b.result; \
+		print('fleet-smoke: %d sessions, serial==sharded digest %s...' \
+		% (a.result.tasks, da[:12]))"
 
 ## the full 4 MB pump benchmark, printed as JSON (no report written)
 bench-pump:

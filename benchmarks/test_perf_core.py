@@ -26,6 +26,8 @@ MIN_DATAGRAMS_PER_SEC = 1_000
 #: raised from 300 when the batched run-until-blocked pump landed;
 #: still ~3x under the steady-state on a loaded 1-CPU container
 MIN_PUMP_PACKETS_PER_SEC = 1_000
+#: ~18 users/sec steady-state on the 1-CPU reference box
+MIN_FLEET_USERS_PER_SEC = 2.0
 
 
 class TestEventLoopThroughput:
@@ -111,3 +113,25 @@ class TestParallelAbDay:
         assert result["speedup"] > 0.25
         if (os.cpu_count() or 1) >= 4:
             assert result["speedup"] > 1.5
+        # Shard-reduced legs: same contract for the fleet tier.
+        assert result["fleet_digest_identical"]
+        assert result["fleet_speedup"] > 0.25
+
+
+class TestFleet:
+    def test_sharded_fleet_run(self, benchmark):
+        result = run_once(benchmark, perfbench.bench_fleet, 24, 2, 4)
+        print_table("fleet: sharded population run",
+                    ["users", "shards", "workers req/eff", "users/sec",
+                     "sink buckets", "failed"],
+                    [[result["users"], result["shards"],
+                      f"{result['workers_requested']}/"
+                      f"{result['workers_effective']}",
+                      f"{result['users_per_sec']:.1f}",
+                      result["sink_buckets"], result["failed"]]])
+        assert result["failed"] == 0
+        assert result["sessions"] == result["users"]  # split population
+        assert result["workers_effective"] >= 2
+        assert result["users_per_sec"] > MIN_FLEET_USERS_PER_SEC
+        # bounded-memory proxy: a few hundred sketch slots, not O(users)
+        assert result["sink_buckets"] < 5_000

@@ -7,6 +7,9 @@ Commands:
 - ``serve``     -- one CDN host serving N concurrent sessions on a
   shared cell (the multi-user contention experiment)
 - ``ab``        -- run one A/B day (SP vs a treatment) and print stats
+- ``fleet``     -- sharded population run (10K-user scale) reduced
+  into streaming metric sketches; prints per-scheme QoE percentiles,
+  SP-vs-treatment deltas and the merged digest
 - ``mobility``  -- replay one extreme-mobility trace pair (Fig. 13 row)
 - ``schemes``   -- list the available transport schemes
 - ``bench``     -- run the core perf suite, write ``BENCH_core.json``
@@ -225,6 +228,66 @@ def cmd_ab(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    from repro.experiments.fleet import (ABPopulationDriver, FleetConfig,
+                                         run_fleet_driver)
+    from repro.metrics import improvement_percent, permutation_mean_test
+    schemes = tuple(args.schemes)
+    for scheme in schemes:
+        if scheme not in SCHEMES or SCHEMES[scheme].is_mptcp:
+            print(f"unknown or unsupported scheme for fleet: {scheme}",
+                  file=sys.stderr)
+            return 2
+    cfg = FleetConfig(users=args.users, days=args.days, schemes=schemes,
+                      paired=args.paired, timeout_s=args.timeout,
+                      seed=args.seed)
+    run = run_fleet_driver(ABPopulationDriver(cfg),
+                           workers=args.workers or None,
+                           shard_size=args.shard_size)
+    result = run.result
+    print(f"users={cfg.users} days={cfg.days} "
+          f"sessions={result.tasks} failed={result.failed} "
+          f"shards={result.shards} "
+          f"workers={result.workers_requested}/"
+          f"{result.workers_effective} (requested/effective)")
+    print(f"wall={run.seconds:.1f}s "
+          f"sessions_per_sec={run.sessions_per_sec:.1f} "
+          f"sink_buckets={run.sink.n_buckets}")
+
+    def cell(value, spec="{:.3f}"):
+        return "-" if value is None else spec.format(value)
+
+    for name in run.sink.scheme_names():
+        s = run.sink.scheme(name)
+        startup = s.startup.percentile(50)
+        print(f"{name:<12} sessions={s.sessions} "
+              f"rct_p50={cell(s.rct.percentile(50))} "
+              f"rct_p95={cell(s.rct.percentile(95))} "
+              f"rct_p99={cell(s.rct.percentile(99))} "
+              f"startup_p50_ms="
+              f"{cell(None if startup is None else startup * 1000, '{:.0f}')} "
+              f"rebuffer_pct={s.rebuffer_rate * 100:.2f} "
+              f"cost_pct={s.traffic_overhead_percent:.1f}")
+    baseline = run.sink.get("sp")
+    if (baseline is not None and baseline.play_q > 0
+            and args.permutation_rounds > 0):
+        for name in run.sink.scheme_names():
+            if name == "sp":
+                continue
+            treat = run.sink.scheme(name)
+            if treat.play_q <= 0:
+                continue
+            sig = permutation_mean_test(
+                baseline.session_rebuffer_rate,
+                treat.session_rebuffer_rate,
+                rounds=args.permutation_rounds, seed=cfg.seed)
+            print(f"sp->{name:<9} rebuffer_improvement_pct="
+                  f"{improvement_percent(baseline.rebuffer_rate, treat.rebuffer_rate):+.1f} "
+                  f"p_value={cell(sig.p_value if sig else None)}")
+    print(f"digest={run.sink.digest()}")
+    return 0
+
+
 def cmd_mobility(args) -> int:
     pairs = extreme_mobility_trace_pairs(duration_s=args.duration)
     if not 1 <= args.trace <= len(pairs):
@@ -308,6 +371,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(ab)
     ab.set_defaults(func=cmd_ab)
 
+    fleet = sub.add_parser(
+        "fleet", help="sharded population run on streaming sketches")
+    fleet.add_argument("--users", type=int, default=1000,
+                       help="population size per day (default 1000)")
+    fleet.add_argument("--days", type=int, default=1)
+    fleet.add_argument("--schemes", nargs="+", default=["sp", "xlink"])
+    fleet.add_argument("--paired", action="store_true",
+                       help="every user plays every scheme (default: "
+                            "split population, one scheme per user)")
+    fleet.add_argument("--shard-size", type=int, default=64,
+                       help="sessions reduced per pool task (default 64)")
+    fleet.add_argument("--timeout", type=float, default=30.0)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--permutation-rounds", type=int, default=200,
+                       help="rounds for the significance test "
+                            "(0 disables; default 200)")
+    _add_workers_arg(fleet)
+    fleet.set_defaults(func=cmd_fleet)
+
     mobility = sub.add_parser("mobility", help="replay a mobility trace")
     mobility.add_argument("--trace", type=int, default=1,
                           help="trace id 1-10")
@@ -336,6 +418,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--events", type=int, default=200_000)
     bench.add_argument("--packets", type=int, default=50_000)
     bench.add_argument("--ab-users", type=int, default=10)
+    bench.add_argument("--fleet-users", type=int, default=10_000,
+                       help="population size for the fleet_10k entry "
+                            "(the dominant suite cost; default 10000)")
     bench.add_argument("--force", action="store_true",
                        help="overwrite the report even on a dirty git tree")
     bench.add_argument("--dry-run", action="store_true",
@@ -359,6 +444,7 @@ def cmd_bench(args) -> int:
     from repro import perfbench
     report = perfbench.collect(n_events=args.events, n_packets=args.packets,
                                ab_users=args.ab_users,
+                               fleet_users=args.fleet_users,
                                workers=args.workers or None)
     print(perfbench.format_report(report))
     if args.dry_run:

@@ -16,9 +16,13 @@ from repro.experiments.chaos import (ChaosSoakConfig, ChaosSoakResult,
 from repro.experiments.contention import (ContentionConfig, ContentionResult,
                                           run_contention,
                                           run_contention_sweep)
-from repro.experiments.parallel import (SessionOutcome, SessionTask,
+from repro.experiments.parallel import (FleetResult, SessionOutcome,
+                                        SessionTask, ShardResult,
                                         available_workers, fan_out,
-                                        run_session_tasks)
+                                        run_fleet, run_session_tasks)
+from repro.experiments.fleet import (ABPopulationDriver, FleetConfig,
+                                     FleetRun, MobilityPopulationDriver,
+                                     run_fleet_driver)
 
 __all__ = [
     "ContentionConfig",
@@ -41,7 +45,15 @@ __all__ = [
     "run_chaos_soak",
     "SessionOutcome",
     "SessionTask",
+    "ShardResult",
+    "FleetResult",
     "available_workers",
     "fan_out",
     "run_session_tasks",
+    "run_fleet",
+    "ABPopulationDriver",
+    "FleetConfig",
+    "FleetRun",
+    "MobilityPopulationDriver",
+    "run_fleet_driver",
 ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.experiments.harness import SCHEMES, PathSpec
 from repro.experiments.parallel import SessionTask, run_session_tasks
@@ -166,18 +166,25 @@ class DayResult:
         return traffic_overhead_percent(self.sessions)
 
 
-def build_ab_day_tasks(cfg: ABTestConfig, day: int, schemes: Sequence[str],
-                       scheme_overrides: Optional[Dict[str, dict]] = None
-                       ) -> List[SessionTask]:
-    """Build the per-session task list for one A/B day.
+def iter_ab_day_tasks(cfg: ABTestConfig, day: int, schemes: Sequence[str],
+                      scheme_overrides: Optional[Dict[str, dict]] = None,
+                      assign: Optional[Callable[[int], Sequence[str]]] = None
+                      ) -> Iterator[SessionTask]:
+    """Lazily generate the per-session tasks for one A/B day.
 
     Condition sampling stays *serial* (it consumes a shared per-day RNG
     stream exactly as the original nested loop did) -- only the
     expensive discrete-event sessions fan out.  Each task carries its
     fully-derived session seed, so the results are bit-identical
     however the tasks are executed.
+
+    ``assign`` maps a user index to the subset of ``schemes`` that user
+    actually plays (default: all of them, the paired small-N design).
+    The fleet drivers pass a split-population assignment -- the paper's
+    real A/B shape, one scheme per user -- and crucially the per-day
+    condition RNG stream is consumed *before* assignment, so paired and
+    split runs sample identical user populations.
     """
-    tasks: List[SessionTask] = []
     day_seed = derive_seed(cfg.seed, f"day-{day}")
     rng = make_rng(day_seed, "conditions")
     for user in range(cfg.users_per_day):
@@ -187,17 +194,23 @@ def build_ab_day_tasks(cfg: ABTestConfig, day: int, schemes: Sequence[str],
             bitrate_bps=cfg.video_bitrate_bps, chunk_size=cfg.chunk_size,
             seed=derive_seed(day_seed, f"video-{user}"))
         session_seed = derive_seed(day_seed, f"user-{user}")
-        for scheme in schemes:
+        for scheme in (schemes if assign is None else assign(user)):
             kwargs = dict(scheme_overrides.get(scheme, {})) \
                 if scheme_overrides else {}
-            tasks.append(SessionTask(
+            yield SessionTask(
                 key=(user, scheme), scheme=scheme,
                 paths=conditions.paths_for(scheme), video=video,
                 player_config=cfg.player_config(),
                 timeout_s=cfg.timeout_s, seed=session_seed,
                 primary_order=cfg.primary_order, kwargs=kwargs,
-                scheme_config=SCHEMES.get(scheme)))
-    return tasks
+                scheme_config=SCHEMES.get(scheme))
+
+
+def build_ab_day_tasks(cfg: ABTestConfig, day: int, schemes: Sequence[str],
+                       scheme_overrides: Optional[Dict[str, dict]] = None
+                       ) -> List[SessionTask]:
+    """The materialized task list (the small-N drivers' entry point)."""
+    return list(iter_ab_day_tasks(cfg, day, schemes, scheme_overrides))
 
 
 def run_ab_day(cfg: ABTestConfig, day: int, schemes: Sequence[str],

@@ -11,13 +11,15 @@ and max request download time per trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 from typing import Optional
 
-from repro.experiments.harness import PathSpec, run_bulk_download, run_video_session
-from repro.experiments.parallel import fan_out
+from repro.experiments.harness import (SCHEMES, PathSpec, run_bulk_download,
+                                       run_video_session)
+from repro.experiments.parallel import SessionTask, fan_out
 from repro.metrics.stats import percentile
+from repro.sim.rng import derive_seed
 from repro.traces.catalog import extreme_mobility_trace_pairs
 from repro.traces.radio_profiles import RadioType
 from repro.video import PlayerConfig
@@ -182,6 +184,43 @@ def _run_mptcp_paced(paths: List[PathSpec], timeout_s: float,
         times.append((client.completed_at - start)
                      if client.completed_at is not None else timeout_s)
     return times
+
+
+#: Fleet-capable subset of Fig. 13's schemes: everything that runs as
+#: a plain SessionTask.  ``mptcp`` needs the bespoke paced loop below
+#: and stays a small-N driver.
+FLEET_MOBILITY_SCHEMES = ("sp", "vanilla_mp", "cm", "xlink")
+
+
+def iter_mobility_fleet_tasks(n_traces: int = 10, repeats: int = 2,
+                              schemes: Sequence[str] =
+                              FLEET_MOBILITY_SCHEMES,
+                              duration_s: float = 30.0,
+                              timeout_s: float = 60.0,
+                              seed: int = 0) -> Iterator[SessionTask]:
+    """Lazily generate the mobility population's session tasks.
+
+    The population shape of Fig. 13 at fleet scale: ``repeats``
+    reseeded passes over the trace catalog, schemes paired per
+    (repeat, trace) cell so per-scheme sketches compare the same
+    replay conditions.  Request download times land in the fleet
+    sink's ``rct`` sketch (the same metric the figure reports).
+    """
+    pairs = extreme_mobility_trace_pairs(duration_s)[:n_traces]
+    player_config = PlayerConfig(concurrent_requests=1, max_buffer_s=3.0,
+                                 startup_frames=5, resume_frames=5)
+    video = _chunked_video()
+    for rep in range(repeats):
+        for pair in pairs:
+            rep_seed = derive_seed(seed, f"mob-{rep}-{pair['trace_id']}")
+            paths = _paths_for_trace(pair)
+            for scheme in schemes:
+                yield SessionTask(
+                    key=(rep, pair["trace_id"], scheme), scheme=scheme,
+                    paths=paths[:1] if scheme == "sp" else paths,
+                    video=video, player_config=player_config,
+                    timeout_s=timeout_s, seed=rep_seed,
+                    scheme_config=SCHEMES.get(scheme))
 
 
 def run_fig13(n_traces: int = 10, duration_s: float = 30.0,

@@ -37,6 +37,24 @@ platform cannot ``fork`` (the pool relies on fork inheriting the
 parent's imports and dynamically-registered schemes cheaply; spawn
 would work for the built-in schemes but costs an interpreter boot per
 worker, so we keep the fallback simple and serial instead).
+
+Fleet tier
+----------
+
+The per-outcome path above returns one pickled ``SessionOutcome`` per
+session, which is exactly right for the small-N drivers (they need
+raw per-session lists) and exactly wrong at 10K users.  The fleet
+tier reduces *inside* the worker instead: :func:`execute_shard` runs
+a slice of tasks and folds every outcome into one
+:class:`~repro.metrics.sink.MetricSink`, so only a
+:class:`ShardResult` (sink + counters + failure tallies, O(buckets))
+crosses the pool boundary.  :func:`run_fleet` shards a task *iterator*
+lazily -- tasks are generated, pickled and executed in bounded flights
+(OS pipe backpressure throttles the feeder), and shard results are
+merged as they arrive via ``imap_unordered``.  Because sink merge is
+associative, commutative and exactly order-independent (fixed-point
+sums, pure bucket mapping), a sharded run's merged digest is
+**identical** to the serial run's, whatever the completion order.
 """
 
 from __future__ import annotations
@@ -44,11 +62,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from itertools import islice
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from repro.experiments.harness import (SCHEMES, PathSpec, SchemeConfig,
                                        run_bulk_download, run_video_session)
 from repro.metrics.qoe import SessionMetrics
+from repro.metrics.sink import MetricSink
 from repro.traces.radio_profiles import RadioType
 from repro.video import PlayerConfig
 from repro.video.media import Video
@@ -56,12 +77,18 @@ from repro.video.media import Video
 __all__ = [
     "SessionTask",
     "SessionOutcome",
+    "ShardResult",
+    "FleetResult",
     "available_workers",
     "resolve_workers",
     "effective_workers",
     "fan_out",
     "execute_session_task",
     "run_session_tasks",
+    "execute_shard",
+    "iter_shards",
+    "run_fleet",
+    "DEFAULT_SHARD_SIZE",
 ]
 
 
@@ -201,3 +228,127 @@ def run_session_tasks(tasks: Sequence[SessionTask],
     """Execute tasks (parallel when ``workers`` allows), in task order."""
     return fan_out(execute_session_task, [{"task": t} for t in tasks],
                    workers=workers, chunksize=chunksize)
+
+
+# ---------------------------------------------------------------------------
+# fleet tier: shard-level reduction
+# ---------------------------------------------------------------------------
+
+#: Tasks per shard.  Big enough that shard dispatch overhead (one
+#: pickle round trip per shard) is noise against ~50ms/session DES
+#: work, small enough that 10K tasks still spread over >100 shards.
+DEFAULT_SHARD_SIZE = 64
+
+
+@dataclass
+class ShardResult:
+    """What one worker returns for a whole slice of tasks.
+
+    This -- not a list of per-session outcomes -- is the only thing
+    crossing the pool boundary in a fleet run; its size is
+    O(schemes x sketch buckets) regardless of how many sessions the
+    shard executed.
+    """
+
+    sink: MetricSink
+    tasks: int = 0
+    #: execution failures, keyed by exception type name
+    failures: Dict[str, int] = field(default_factory=dict)
+
+
+def execute_shard(tasks: Sequence[SessionTask]) -> ShardResult:
+    """Worker entry point: run a task slice, reduce locally.
+
+    A task that raises is tallied (per exception type, and per scheme
+    inside the sink) instead of poisoning the whole shard -- at 10K
+    users a single pathological parameter draw must not void the run.
+    """
+    result = ShardResult(sink=MetricSink())
+    for task in tasks:
+        result.tasks += 1
+        try:
+            outcome = execute_session_task(task)
+        except Exception as exc:  # noqa: BLE001 - tallied, not hidden
+            kind = type(exc).__name__
+            result.failures[kind] = result.failures.get(kind, 0) + 1
+            result.sink.observe_failure(task.scheme, kind)
+            continue
+        result.sink.observe(outcome)
+    return result
+
+
+def iter_shards(tasks: Iterable[SessionTask],
+                shard_size: int = DEFAULT_SHARD_SIZE
+                ) -> Iterator[List[SessionTask]]:
+    """Lazily slice a task iterable into shard-sized lists."""
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    it = iter(tasks)
+    while True:
+        shard = list(islice(it, shard_size))
+        if not shard:
+            return
+        yield shard
+
+
+@dataclass
+class FleetResult:
+    """Merged outcome of a (possibly sharded) fleet run."""
+
+    sink: MetricSink
+    tasks: int = 0
+    shards: int = 0
+    workers_requested: int = 1
+    workers_effective: int = 1
+    failures: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> int:
+        return sum(self.failures.values())
+
+
+def run_fleet(tasks: Iterable[SessionTask],
+              sink: Optional[MetricSink] = None,
+              workers: Optional[int] = None,
+              shard_size: int = DEFAULT_SHARD_SIZE) -> FleetResult:
+    """Reduce-style fleet execution: tasks -> shards -> merged sink.
+
+    ``tasks`` may be (and for large populations should be) a lazy
+    generator; the parent never materializes the task list, and
+    workers never return per-session outcomes, so memory stays bounded
+    by ``workers * shard_size`` in-flight tasks plus the O(buckets)
+    sinks.  ``workers`` follows the repo-wide convention
+    (``None``/``0`` = ``os.cpu_count()``, ``1`` = in-process serial).
+
+    Determinism: every task carries its fully-derived seed and the
+    sink merge is exactly order-independent, so serial and sharded
+    runs produce identical merged digests for the same task stream --
+    ``imap_unordered`` completion order does not matter.
+    """
+    merged = sink if sink is not None else MetricSink()
+    result = FleetResult(sink=merged)
+    n_workers = resolve_workers(workers)
+    result.workers_requested = n_workers
+    shard_iter = iter_shards(tasks, shard_size)
+
+    def fold(shard_result: ShardResult) -> None:
+        merged.merge(shard_result.sink)
+        result.tasks += shard_result.tasks
+        result.shards += 1
+        for kind, n in shard_result.failures.items():
+            result.failures[kind] = result.failures.get(kind, 0) + n
+
+    if n_workers <= 1 or not _fork_available():
+        for shard in shard_iter:
+            fold(execute_shard(shard))
+        result.workers_effective = 1
+        return result
+
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=n_workers) as pool:
+        for shard_result in pool.imap_unordered(execute_shard, shard_iter,
+                                                chunksize=1):
+            fold(shard_result)
+    result.workers_effective = min(n_workers, result.shards) \
+        if result.shards else 1
+    return result

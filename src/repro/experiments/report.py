@@ -20,7 +20,8 @@ from repro.experiments.energyexp import normalize, run_fig14
 from repro.experiments.firstframe import FIG12_PERCENTILES, run_fig12
 from repro.experiments.mobility import FIG13_SCHEMES, run_fig13
 from repro.experiments.pathexp import run_fig7, run_fig8
-from repro.metrics import improvement_percent, percentile
+from repro.metrics import (MetricSink, improvement_percent, percentile,
+                           permutation_mean_test)
 
 #: scale name -> (ab users, ab days, mobility traces)
 SCALES = {
@@ -137,6 +138,107 @@ def section_fig13(n_traces: int) -> ReportSection:
         _table(["trace"] + list(FIG13_SCHEMES), rows))
 
 
+#: CDF grid rendered in the fleet section's percentile tables.
+FLEET_CDF_PCTS = (10, 25, 50, 75, 90, 95, 99)
+
+
+def _fmt(value, spec: str = "{:.3f}", empty: str = "—") -> str:
+    """Render a metric cell; ``None`` (empty sketch) becomes a dash."""
+    return empty if value is None else spec.format(value)
+
+
+def fleet_sections(sink: MetricSink, baseline: str = "sp",
+                   seed: int = 0, rounds: int = 200
+                   ) -> List[ReportSection]:
+    """Render a fleet sink: CDFs, SP-vs-MP deltas, significance.
+
+    Pure rendering over an already-merged :class:`MetricSink`, so the
+    report, the CLI and the tests all share one code path.  Schemes
+    with zero completed sessions get dash cells instead of a crash --
+    the fleet sink's empty state is well-defined (``None``
+    percentiles), unlike the exact ``summarize()`` reference which
+    keeps raising on empty input.
+    """
+    sections: List[ReportSection] = []
+    names = sink.scheme_names()
+
+    rows = []
+    for name in names:
+        s = sink.scheme(name)
+        startup_p50 = s.startup.percentile(50)
+        rows.append([
+            name, s.sessions, s.completed, s.failed,
+            _fmt(s.rebuffer_rate * 100 if s.play_q else None, "{:.2f}%"),
+            _fmt(None if startup_p50 is None else startup_p50 * 1000,
+                 "{:.0f} ms"),
+            _fmt(s.reinjection_overhead_percent, "{:.1f}%"),
+        ])
+    sections.append(ReportSection(
+        "Fleet population — per-scheme QoE (Tables 1/3 shape)",
+        _table(["scheme", "sessions", "completed", "failed",
+                "rebuffer rate", "startup p50", "reinjection cost"],
+               rows)))
+
+    rows = []
+    for name in names:
+        sketch = sink.scheme(name).rct
+        rows.append([name] + [_fmt(sketch.percentile(p), "{:.3f}")
+                              for p in FLEET_CDF_PCTS])
+    sections.append(ReportSection(
+        "Fleet population — request completion time CDF (s)",
+        _table(["scheme"] + [f"p{p}" for p in FLEET_CDF_PCTS], rows)))
+
+    treatments = [n for n in names if n != baseline]
+    if baseline in names and treatments:
+        base = sink.scheme(baseline)
+        rows = []
+        for name in treatments:
+            treat = sink.scheme(name)
+            delta = (improvement_percent(base.rebuffer_rate,
+                                         treat.rebuffer_rate)
+                     if base.play_q and treat.play_q else None)
+            p99_b, p99_t = base.rct.percentile(99), treat.rct.percentile(99)
+            rct_delta = (improvement_percent(p99_b, p99_t)
+                         if p99_b is not None and p99_t is not None
+                         else None)
+            sig = permutation_mean_test(base.session_rebuffer_rate,
+                                        treat.session_rebuffer_rate,
+                                        rounds=rounds, seed=seed)
+            sig_rct = permutation_mean_test(base.rct, treat.rct,
+                                            rounds=rounds, seed=seed)
+            rows.append([
+                f"{baseline} → {name}",
+                _fmt(delta, "{:+.1f}%"),
+                _fmt(rct_delta, "{:+.1f}%"),
+                _fmt(sig.p_value if sig else None, "{:.3f}"),
+                _fmt(sig_rct.p_value if sig_rct else None, "{:.3f}"),
+            ])
+        sections.append(ReportSection(
+            "Fleet population — treatment deltas vs single-path",
+            _table(["contrast", "rebuffer improvement", "RCT p99 improvement",
+                    "p (rebuffer)", "p (RCT)"], rows)
+            + f"\n\np-values: seeded permutation test over the merged "
+              f"sketches ({rounds} rounds, seed {seed})."))
+    return sections
+
+
+def section_fleet(users: int, seed: int = 11) -> List[ReportSection]:
+    """Run a split-population fleet day and render its sink."""
+    from repro.experiments.fleet import (ABPopulationDriver, FleetConfig,
+                                         run_fleet_driver)
+    cfg = FleetConfig(users=users, seed=seed)
+    run = run_fleet_driver(ABPopulationDriver(cfg))
+    header = (f"{users} users split-population over "
+              f"{', '.join(cfg.schemes)}; {run.result.shards} shards, "
+              f"{run.result.workers_effective} effective workers, "
+              f"{run.sessions_per_sec:.1f} sessions/sec.\n"
+              f"Merged digest `{run.sink.digest()[:16]}`.")
+    sections = fleet_sections(run.sink, seed=seed)
+    first = sections[0]
+    sections[0] = ReportSection(first.title, header + "\n\n" + first.body)
+    return sections
+
+
 def section_fig14() -> ReportSection:
     points = normalize(run_fig14(sizes=(4_000_000,)))
     rows = [[p.config, f"{p.energy_per_bit_j:.2f}",
@@ -158,6 +260,9 @@ def generate_report(scale: str = "quick",
         "fig7": lambda: [section_fig7()],
         "fig8": lambda: [section_fig8()],
         "ab": lambda: section_ab(users, days),
+        # the fleet tier is cheap per session (2s clip), so its
+        # population is scaled 8x the per-day A/B cohort
+        "fleet": lambda: section_fleet(users * 8),
         "fig12": lambda: [section_fig12(users)],
         "fig13": lambda: [section_fig13(traces)],
         "fig14": lambda: [section_fig14()],

@@ -23,11 +23,13 @@ population once per setting, reporting:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core import ThresholdConfig
-from repro.experiments.abtest import ABTestConfig, run_ab_day
-from repro.experiments.harness import SCHEMES, SchemeConfig
+from repro.experiments.abtest import (ABTestConfig, iter_ab_day_tasks,
+                                      run_ab_day)
+from repro.experiments.harness import SCHEMES
+from repro.metrics.sketch import DistSketch
 from repro.metrics.stats import percentile
 
 #: The paper's threshold settings, as (X, Y) percentile pairs.
@@ -52,15 +54,47 @@ def measure_playtime_distribution(cfg: ABTestConfig,
     return samples
 
 
-def percentile_pair_to_seconds(samples: Sequence[float],
+def measure_playtime_sketch(cfg: ABTestConfig,
+                            scheme: str = "vanilla_mp",
+                            workers: Optional[int] = None) -> DistSketch:
+    """Fleet-tier playtime distribution: same population, O(buckets).
+
+    Runs the measurement day through the sharded fleet runner and
+    returns the buffer-level sketch instead of the raw sample list, so
+    threshold calibration scales to 10K-user populations.
+    """
+    from repro.experiments.parallel import run_fleet
+    result = run_fleet(iter_ab_day_tasks(cfg, 1, [scheme]), workers=workers)
+    sink = result.sink.get(scheme)
+    if sink is None or sink.buffer_level.count == 0:
+        raise RuntimeError("no buffer samples collected")
+    return sink.buffer_level
+
+
+PlaytimeDistribution = Union[Sequence[float], DistSketch]
+
+
+def _distribution_percentile(samples: PlaytimeDistribution,
+                             pct: float) -> float:
+    if isinstance(samples, DistSketch):
+        value = samples.percentile(pct)
+        if value is None:
+            raise ValueError("percentile of empty sketch")
+        return value
+    return percentile(samples, pct)
+
+
+def percentile_pair_to_seconds(samples: PlaytimeDistribution,
                                x: int, y: int) -> ThresholdConfig:
     """Convert (X, Y) percentile thresholds into seconds.
 
     th(X) is the value with X% of samples above it, i.e. the
-    (100-X)-th percentile of the distribution.
+    (100-X)-th percentile of the distribution.  Accepts either a raw
+    sample list (the exact small-N path) or a :class:`DistSketch`
+    (the fleet path, within the sketch's alpha relative error).
     """
-    t1 = percentile(samples, 100 - x)
-    t2 = percentile(samples, 100 - y)
+    t1 = _distribution_percentile(samples, 100 - x)
+    t2 = _distribution_percentile(samples, 100 - y)
     if t1 > t2:  # degenerate distributions: keep the config valid
         t1 = t2
     return ThresholdConfig(t_th1=t1, t_th2=t2)
@@ -79,54 +113,81 @@ class ThresholdResult:
     danger_reduction_percent: float
 
 
-def _low_tail(samples: Sequence[float], pct: float) -> float:
+def _low_tail(samples: PlaytimeDistribution, pct: float) -> float:
     """The (100-pct)-th percentile: the 'worst pct%' buffer level."""
-    return percentile(samples, 100 - pct)
+    return _distribution_percentile(samples, 100 - pct)
 
 
-def _danger_fraction(samples: Sequence[float]) -> float:
+def _danger_fraction(samples: PlaytimeDistribution) -> float:
+    if isinstance(samples, DistSketch):
+        return samples.fraction_below(DANGER_LEVEL_S)
     if not samples:
         return 0.0
     return sum(1 for s in samples if s < DANGER_LEVEL_S) / len(samples)
+
+
+def _population_buffer_stats(cfg: ABTestConfig, scheme_name: str,
+                             workers: Optional[int],
+                             use_sketch: bool
+                             ) -> Tuple[PlaytimeDistribution, float]:
+    """One population's buffer-level distribution + traffic cost.
+
+    The exact path materializes every session (bit-identical to the
+    original sweep); the sketch path reduces through the sharded
+    fleet runner in O(buckets) memory, enabling 10K-user sweeps.
+    """
+    if use_sketch:
+        from repro.experiments.parallel import run_fleet
+        result = run_fleet(iter_ab_day_tasks(cfg, 2, [scheme_name]),
+                           workers=workers)
+        sink = result.sink.scheme(scheme_name)
+        return sink.buffer_level, sink.traffic_overhead_percent
+    day = run_ab_day(cfg, 2, [scheme_name], workers=workers)[scheme_name]
+    samples = [s for sess in day.sessions
+               for s in sess.buffer_level_samples]
+    return samples, day.traffic_overhead_percent
 
 
 def run_threshold_sweep(cfg: ABTestConfig,
                         settings: Sequence[Tuple[int, int]] =
                         PAPER_THRESHOLD_SETTINGS,
                         include_off: bool = True,
-                        workers: Optional[int] = None) -> List[ThresholdResult]:
+                        workers: Optional[int] = None,
+                        use_sketch: bool = False) -> List[ThresholdResult]:
     """Fig. 10 / Table 2: sweep threshold settings over one population.
 
     ``workers`` fans each population's sessions out over processes
     (``None``/``0`` = ``os.cpu_count()``); results are bit-identical
-    to the serial run.
+    to the serial run.  ``use_sketch`` reroutes every population loop
+    (calibration, SP baseline, each setting) through the fleet tier's
+    shard-reduced streaming sketches -- within the sketch's alpha
+    relative percentile error of the exact path, but with memory
+    independent of population size.
     """
-    distribution = measure_playtime_distribution(cfg, workers=workers)
-    sp_day = run_ab_day(cfg, 2, ["sp"], workers=workers)["sp"]
-    sp_samples = [s for sess in sp_day.sessions
-                  for s in sess.buffer_level_samples]
+    if use_sketch:
+        distribution: PlaytimeDistribution = measure_playtime_sketch(
+            cfg, workers=workers)
+    else:
+        distribution = measure_playtime_distribution(cfg, workers=workers)
+    sp_samples, _sp_cost = _population_buffer_stats(cfg, "sp", workers,
+                                                    use_sketch)
 
     def run_with(label: str, thresholds: Optional[ThresholdConfig]
                  ) -> ThresholdResult:
         if thresholds is None:
             scheme_name = "vanilla_mp"  # re-injection off entirely
-            overrides = None
         else:
             scheme_name = f"_sweep_{label}"
             base = SCHEMES["xlink"]
             import dataclasses
             SCHEMES[scheme_name] = dataclasses.replace(
                 base, name=scheme_name, thresholds=thresholds)
-            overrides = None
         try:
-            day = run_ab_day(cfg, 2, [scheme_name], overrides,
-                             workers=workers)[scheme_name]
+            samples, cost = _population_buffer_stats(cfg, scheme_name,
+                                                     workers, use_sketch)
         finally:
             if thresholds is not None:
                 del SCHEMES[scheme_name]
-        samples = [s for sess in day.sessions
-                   for s in sess.buffer_level_samples]
-        cost = day.traffic_overhead_percent
 
         def improvement(pct: float) -> float:
             sp_val = _low_tail(sp_samples, pct)

@@ -1,14 +1,33 @@
-"""Statistics and QoE metrics used across the evaluation."""
+"""Statistics and QoE metrics used across the evaluation.
 
-from repro.metrics.stats import Summary, percentile, summarize
+Two tiers: the exact reference implementations (``percentile`` /
+``summarize`` over raw sample lists, used by every small-N driver and
+pinned by the equivalence tests) and the streaming fleet tier
+(``DistSketch`` / ``MetricSink``), which trades ``alpha`` relative
+percentile error for O(buckets) memory and an order-independent merge
+so 10K-user populations reduce across process shards.
+"""
+
+from repro.metrics.stats import (Summary, maybe_percentile,
+                                 maybe_summarize, percentile, summarize)
 from repro.metrics.qoe import (SessionMetrics, aggregate_rebuffer_rate,
                                improvement_percent)
+from repro.metrics.sketch import (DistSketch, PermutationTest,
+                                  permutation_mean_test)
+from repro.metrics.sink import MetricSink, SchemeSink
 
 __all__ = [
     "Summary",
     "percentile",
     "summarize",
+    "maybe_percentile",
+    "maybe_summarize",
     "SessionMetrics",
     "aggregate_rebuffer_rate",
     "improvement_percent",
+    "DistSketch",
+    "PermutationTest",
+    "permutation_mean_test",
+    "MetricSink",
+    "SchemeSink",
 ]

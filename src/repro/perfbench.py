@@ -14,7 +14,11 @@ Four measurements track the simulator's hot paths across PRs:
   and shared-link machinery under load);
 - ``ab_day_parallel``: wall-clock of one A/B day serial vs fanned out
   over the process pool, plus the speedup ratio and a checksum-style
-  equality flag for the determinism contract.
+  equality flag for the determinism contract (and the same day again
+  through the shard-reduced fleet tier, with its own speedup/digest);
+- ``fleet_10k``: users/sec of a sharded 10K-user fleet day reduced
+  into streaming metric sketches, with workers requested/effective and
+  the sink-bucket count as the bounded-memory proxy.
 
 :func:`collect` gathers everything into a JSON-serializable report and
 :func:`write_report` persists it to ``BENCH_core.json`` so future PRs
@@ -184,6 +188,25 @@ def bench_parallel_ab_day(users_per_day: int = 10,
     identical = all(serial[s].sessions == parallel[s].sessions
                     for s in schemes)
     effective = effective_workers(requested, n_tasks)
+
+    # Shard-reduced legs: the same day through the fleet tier, where
+    # workers ship one merged MetricSink per shard instead of N pickled
+    # SessionOutcomes.  fleet_speedup isolates what the reduced pickle
+    # volume buys over the outcome path's parallel leg.
+    from repro.experiments.abtest import build_ab_day_tasks
+    from repro.experiments.parallel import run_fleet
+    tasks = build_ab_day_tasks(cfg, 1, schemes)
+    # two shards per worker, so the pool engages at any bench scale
+    shard_size = max(1, n_tasks // (2 * requested))
+    t0 = time.perf_counter()
+    fleet_serial = run_fleet(iter(tasks), workers=1,
+                             shard_size=shard_size)
+    fleet_serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fleet_sharded = run_fleet(iter(tasks), workers=requested,
+                              shard_size=shard_size)
+    fleet_sharded_s = time.perf_counter() - t0
+
     return {
         "users_per_day": users_per_day,
         "sessions": n_tasks,
@@ -197,6 +220,44 @@ def bench_parallel_ab_day(users_per_day: int = 10,
         "parallel_seconds": parallel_s,
         "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
         "identical_metrics": identical,
+        "fleet_serial_seconds": fleet_serial_s,
+        "fleet_parallel_seconds": fleet_sharded_s,
+        "fleet_speedup": (fleet_serial_s / fleet_sharded_s
+                          if fleet_sharded_s > 0 else 0.0),
+        "fleet_workers_effective": fleet_sharded.workers_effective,
+        "fleet_digest_identical": (fleet_serial.sink.digest()
+                                   == fleet_sharded.sink.digest()),
+    }
+
+
+def bench_fleet(users: int = 10_000, workers: int = 2,
+                shard_size: int = 64, seed: int = 5) -> Dict[str, Any]:
+    """Users/sec of a sharded split-population fleet day.
+
+    The 10K-user acceptance run of the fleet tier: one A/B day at
+    population scale, reduced shard-by-shard into streaming sketches.
+    ``sink_buckets`` is the peak-RSS proxy -- the number of occupied
+    sketch slots crossing the pool boundary, which stays O(hundreds)
+    no matter how many users run.
+    """
+    from repro.experiments.fleet import (ABPopulationDriver, FleetConfig,
+                                         run_fleet_driver)
+    cfg = FleetConfig(users=users, seed=seed)
+    run = run_fleet_driver(ABPopulationDriver(cfg), workers=workers,
+                           shard_size=shard_size)
+    result = run.result
+    return {
+        "users": users,
+        "sessions": result.tasks,
+        "failed": result.failed,
+        "shards": result.shards,
+        "seconds": run.seconds,
+        "users_per_sec": users / run.seconds if run.seconds > 0 else 0.0,
+        "sessions_per_sec": run.sessions_per_sec,
+        "workers_requested": result.workers_requested,
+        "workers_effective": result.workers_effective,
+        "sink_buckets": run.sink.n_buckets,
+        "digest": run.sink.digest(),
     }
 
 
@@ -387,9 +448,13 @@ def bench_hotpath_pump(transfer_bytes: int = 4_000_000) -> Dict[str, Any]:
 
 
 def collect(n_events: int = 200_000, n_packets: int = 50_000,
-            ab_users: int = 10,
+            ab_users: int = 10, fleet_users: int = 10_000,
             workers: Optional[int] = None) -> Dict[str, Any]:
-    """Run the whole suite once (``rounds=1``) and assemble the report."""
+    """Run the whole suite once (``rounds=1``) and assemble the report.
+
+    ``fleet_users`` sizes the ``fleet_10k`` entry (the dominant cost of
+    the suite at the default 10K; pass something small for a dry run).
+    """
     return {
         "meta": {
             "python": sys.version.split()[0],
@@ -405,6 +470,7 @@ def collect(n_events: int = 200_000, n_packets: int = 50_000,
             "chaos_soak": bench_chaos_soak(),
             "ab_day_parallel": bench_parallel_ab_day(ab_users,
                                                      workers=workers),
+            "fleet_10k": bench_fleet(fleet_users),
             "hotpath_crypto": bench_hotpath_crypto(),
             "hotpath_datagrams": bench_hotpath_datagrams(),
             "hotpath_pump": bench_hotpath_pump(),
@@ -475,6 +541,19 @@ def format_report(report: Dict[str, Any]) -> str:
         f"(speedup {ab['speedup']:.2f}, "
         f"identical={ab['identical_metrics']})",
     ]
+    if "fleet_speedup" in ab:
+        lines.append(
+            f"ab_day_fleet    {ab['fleet_serial_seconds']:>12.3f} s serial / "
+            f"{ab['fleet_parallel_seconds']:.3f} s sharded "
+            f"(speedup {ab['fleet_speedup']:.2f}, "
+            f"digest_identical={ab['fleet_digest_identical']})")
+    fl = b.get("fleet_10k")
+    if fl:
+        lines.append(
+            f"fleet_10k       {fl['users_per_sec']:>12.1f} users/sec "
+            f"({fl['users']:,} users, {fl['shards']} shards, "
+            f"workers {fl['workers_requested']}/{fl['workers_effective']}, "
+            f"{fl['sink_buckets']} sink buckets)")
     hc = b.get("hotpath_crypto")
     if hc:
         lines.append(

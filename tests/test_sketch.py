@@ -1,0 +1,209 @@
+"""DistSketch / MetricSink contracts the fleet layer leans on.
+
+Three properties carry the fleet tier: exact small-N mode is
+bit-identical to the reference ``stats.percentile``; bucketed
+percentiles stay within the alpha relative-error bound on realistic
+(lognormal, heavy-tail) populations; and merge is associative,
+commutative and *exactly* order-independent, so any shuffling of
+shard merges digests identically to the serial fold.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.metrics.sink import MetricSink, SchemeSink
+from repro.metrics.sketch import (DEFAULT_ALPHA, DistSketch,
+                                  permutation_mean_test)
+from repro.metrics.stats import (maybe_percentile, maybe_summarize,
+                                 percentile, summarize)
+
+
+def _lognormal_samples(n: int, seed: int = 1) -> list:
+    rng = random.Random(seed)
+    return [rng.lognormvariate(0.0, 1.0) for _ in range(n)]
+
+
+def _pareto_samples(n: int, seed: int = 2) -> list:
+    rng = random.Random(seed)
+    return [rng.paretovariate(1.5) for _ in range(n)]
+
+
+class TestExactMode:
+    def test_matches_reference_percentile_bitwise(self):
+        samples = _lognormal_samples(200)
+        sketch = DistSketch()
+        sketch.extend(samples)
+        assert sketch.is_exact
+        for pct in (0, 10, 50, 90, 95, 99, 100):
+            assert sketch.percentile(pct) == percentile(samples, pct)
+
+    def test_summary_matches_reference(self):
+        samples = _lognormal_samples(100)
+        sketch = DistSketch()
+        sketch.extend(samples)
+        ref = summarize(samples)
+        got = sketch.summary()
+        assert got is not None
+        assert (got.p50, got.p95, got.p99) == (ref.p50, ref.p95, ref.p99)
+        assert got.count == ref.count
+        assert got.minimum == ref.minimum and got.maximum == ref.maximum
+
+    def test_spill_timing_does_not_change_state(self):
+        # Converting exact->buckets is a pure per-value mapping, so a
+        # sketch that spilled early (tiny exact_limit) must digest
+        # identically to one that spilled on overflow.
+        samples = _lognormal_samples(400, seed=3)
+        early = DistSketch(exact_limit=10)
+        late = DistSketch(exact_limit=10)
+        for v in samples[:200]:
+            early.add(v)
+        shard = DistSketch(exact_limit=10)
+        for v in samples[200:]:
+            shard.add(v)
+        early.merge(shard)
+        for v in samples:
+            late.add(v)
+        assert early.digest() == late.digest()
+
+
+class TestEmptyState:
+    def test_empty_sketch_is_well_defined(self):
+        sketch = DistSketch()
+        assert sketch.count == 0
+        assert sketch.percentile(50) is None
+        assert sketch.summary() is None
+        assert sketch.mean is None
+        assert sketch.fraction_below(1.0) == 0.0
+        assert sketch.n_buckets == 0
+
+    def test_exact_reference_keeps_raising(self):
+        # The fleet sink tolerates empty populations; the pinned exact
+        # reference does not -- that contract must not drift.
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            summarize([])
+        assert maybe_percentile([], 50) is None
+        assert maybe_summarize([]) is None
+
+    def test_empty_scheme_sink_reads(self):
+        sink = SchemeSink("sp")
+        assert sink.rebuffer_rate == 0.0
+        assert sink.traffic_overhead_percent == 0.0
+        d = sink.as_dict()
+        assert d["rct_p50"] is None and d["sessions"] == 0
+
+
+class TestMergeOrderIndependence:
+    def _sharded_digest(self, samples, n_shards, order_seed):
+        shards = [DistSketch() for _ in range(n_shards)]
+        for i, v in enumerate(samples):
+            shards[i % n_shards].add(v)
+        order = list(range(n_shards))
+        random.Random(order_seed).shuffle(order)
+        merged = DistSketch()
+        for j in order:
+            merged.merge(shards[j])
+        return merged.digest()
+
+    def test_shuffled_shard_merges_digest_identically(self):
+        samples = _lognormal_samples(3000, seed=4)
+        serial = DistSketch()
+        serial.extend(samples)
+        expected = serial.digest()
+        for order_seed in range(5):
+            assert self._sharded_digest(samples, 7, order_seed) == expected
+
+    def test_associativity_of_pairwise_merges(self):
+        samples = _pareto_samples(1500, seed=5)
+        a, b, c = DistSketch(), DistSketch(), DistSketch()
+        for i, v in enumerate(samples):
+            (a, b, c)[i % 3].add(v)
+        left = DistSketch().merge(a).merge(b).merge(c)
+        bc = DistSketch().merge(b).merge(c)
+        right = DistSketch().merge(a).merge(bc)
+        assert left.digest() == right.digest()
+
+    def test_fixed_point_sum_is_exactly_order_independent(self):
+        samples = _lognormal_samples(2000, seed=6)
+        fwd, rev = DistSketch(), DistSketch()
+        fwd.extend(samples)
+        rev.extend(reversed(samples))
+        assert fwd.sum == rev.sum  # exact equality, not approx
+
+    def test_grid_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DistSketch(alpha=0.01).merge(DistSketch(alpha=0.02))
+
+
+class TestErrorBounds:
+    @pytest.mark.parametrize("samples", [
+        _lognormal_samples(20_000, seed=7),
+        _pareto_samples(20_000, seed=8),
+    ], ids=["lognormal", "pareto-heavy-tail"])
+    def test_bucketed_percentiles_within_alpha(self, samples):
+        sketch = DistSketch()
+        sketch.extend(samples)
+        assert not sketch.is_exact
+        for pct in (10, 25, 50, 75, 90, 95, 99):
+            exact = percentile(samples, pct)
+            got = sketch.percentile(pct)
+            # midpoint representatives bound the value error at alpha;
+            # allow 2*alpha for rank-interpolation differences
+            assert abs(got - exact) / exact <= 2 * DEFAULT_ALPHA
+
+    def test_fraction_below_tracks_exact(self):
+        samples = _lognormal_samples(20_000, seed=9)
+        sketch = DistSketch()
+        sketch.extend(samples)
+        threshold = 1.0
+        exact = sum(1 for v in samples if v < threshold) / len(samples)
+        assert abs(sketch.fraction_below(threshold) - exact) < 0.01
+
+
+class TestPermutationTest:
+    def test_same_distribution_not_significant(self):
+        a, b = DistSketch(), DistSketch()
+        a.extend(_lognormal_samples(400, seed=10))
+        b.extend(_lognormal_samples(400, seed=11))
+        result = permutation_mean_test(a, b, rounds=100, seed=0)
+        assert result is not None
+        assert result.p_value > 0.05
+
+    def test_shifted_distribution_significant(self):
+        a, b = DistSketch(), DistSketch()
+        a.extend(_lognormal_samples(400, seed=12))
+        b.extend(v * 1.8 for v in _lognormal_samples(400, seed=13))
+        result = permutation_mean_test(a, b, rounds=100, seed=0)
+        assert result is not None
+        assert result.p_value < 0.05
+
+    def test_empty_group_returns_none(self):
+        a = DistSketch()
+        b = DistSketch()
+        b.add(1.0)
+        assert permutation_mean_test(a, b) is None
+
+    def test_seeded_and_reproducible(self):
+        a, b = DistSketch(), DistSketch()
+        a.extend(_lognormal_samples(200, seed=14))
+        b.extend(_lognormal_samples(200, seed=15))
+        r1 = permutation_mean_test(a, b, rounds=50, seed=3)
+        r2 = permutation_mean_test(a, b, rounds=50, seed=3)
+        assert r1 == r2
+
+
+class TestMetricSinkMerge:
+    def test_sink_merge_grid_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSink(alpha=0.01).merge(MetricSink(alpha=0.05))
+
+    def test_scheme_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SchemeSink("sp").merge(SchemeSink("xlink"))
+
+    def test_empty_sink_digest_is_stable(self):
+        assert MetricSink().digest() == MetricSink().digest()

@@ -18,6 +18,18 @@ a qualitative failure -- a pump that deadlocks, starves a session, or
 goes superlinear.  Gradual erosion is the ratio gate's job (the >30%
 threshold against the same-machine committed baseline).
 
+The fleet tier gets a **floor-only** check: a small sharded fleet run
+(48 users, not 10K -- this runs inside ``make test``) must clear an
+absolute users/sec floor and actually engage >= 2 pool workers.  No
+ratio gate: the committed ``fleet_10k`` entry measures a 200x larger
+population, so the numbers are not same-workload comparable.
+
+The committed ``ab_day_parallel.speedup`` is additionally floor-gated
+-- but only when the committed baseline was measured on a multi-core
+box (``meta.cpu_count > 1``).  On a 1-CPU container two pool workers
+time-slice one core, so ~1.0 is the honest reading and a floor would
+only institutionalize noise.
+
 The remaining end-to-end families (ab_day, chaos_soak) are
 intentionally *not* re-run here -- this runs inside ``make test`` and
 must stay fast; the full suite is re-measured by ``make bench``.
@@ -52,6 +64,16 @@ FLOORS = {
     "hotpath_pump": 400.0,       # packets/sec (1 MB smoke transfer)
     "multi_session": 0.5,        # sessions/sec (N=16 contention cell)
 }
+
+#: Fleet smoke run: population size and its absolute users/sec floor.
+#: Steady-state on the 1-CPU reference box is ~18 sessions/sec with
+#: one session per user, so 2.0 only trips on a qualitative failure
+#: (a wedged pool, a sink merge gone quadratic).
+FLEET_SMOKE_USERS = 48
+FLEET_USERS_PER_SEC_FLOOR = 2.0
+
+#: Minimum committed ab_day_parallel speedup on multi-core baselines.
+AB_SPEEDUP_FLOOR = 1.05
 
 
 #: Samples per cheap family.  Perf noise on a shared container is
@@ -89,6 +111,48 @@ def fresh_measurements() -> dict:
         # and its ratio gets the same 30% slack as everything else.
         "multi_session": perfbench.bench_multi_session(),
     }
+
+
+def fleet_smoke() -> dict:
+    from repro import perfbench
+    return perfbench.bench_fleet(users=FLEET_SMOKE_USERS, workers=2,
+                                 shard_size=8)
+
+
+def check_fleet(fresh: dict, committed: dict) -> int:
+    """Floor-only gate on the small fleet run; returns failure count."""
+    failures = 0
+    ups = fresh["users_per_sec"]
+    flag = ""
+    if ups < FLEET_USERS_PER_SEC_FLOOR:
+        failures += 1
+        flag = f"  BELOW FLOOR ({FLEET_USERS_PER_SEC_FLOOR:,.0f})"
+    base_entry = committed.get("benchmarks", {}).get("fleet_10k", {})
+    base = base_entry.get("users_per_sec")
+    base_txt = f"{base:,.0f}" if base is not None else "(not committed)"
+    print(f"{'fleet (48-user smoke)':<24} {base_txt:>14} {ups:>14,.0f} "
+          f"{'--':>7}{flag}")
+    if fresh["workers_effective"] < 2:
+        failures += 1
+        print(f"{'fleet workers_effective':<24} {'>= 2':>14} "
+              f"{fresh['workers_effective']:>14} {'--':>7}"
+              "  POOL NOT ENGAGED")
+    return failures
+
+
+def check_ab_speedup(committed: dict) -> int:
+    """Gate the committed parallel speedup on multi-core baselines."""
+    cpu_count = committed.get("meta", {}).get("cpu_count") or 1
+    ab = committed.get("benchmarks", {}).get("ab_day_parallel", {})
+    speedup = ab.get("speedup")
+    if cpu_count <= 1 or speedup is None:
+        return 0
+    if speedup < AB_SPEEDUP_FLOOR:
+        print(f"{'ab_day speedup':<24} {AB_SPEEDUP_FLOOR:>14.2f} "
+              f"{speedup:>14.2f} {'--':>7}  BELOW FLOOR "
+              f"(committed on {cpu_count} CPUs)")
+        return 1
+    return 0
 
 
 def compare(committed: dict, fresh: dict, threshold: float) -> int:
@@ -133,6 +197,8 @@ def main(argv=None) -> int:
         return 2
 
     failures = compare(committed, fresh_measurements(), args.threshold)
+    failures += check_fleet(fleet_smoke(), committed)
+    failures += check_ab_speedup(committed)
     if failures:
         print(f"\n{failures} benchmark(s) failed: regressed more than "
               f"{args.threshold:.0%} below {args.baseline} or fell under "
