@@ -3,7 +3,7 @@
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
 .PHONY: test lint bench bench-pytest bench-pump chaos profile-smoke \
-	pump-smoke fleet-smoke bench-compare
+	pump-smoke fleet-smoke cc-smoke bench-compare
 
 ## tier-1 verification: lint gate, the chaos soak, the full
 ## unit/integration suite, then the perf guards (profiling harness
@@ -15,6 +15,7 @@ test: lint chaos
 	$(MAKE) profile-smoke
 	$(MAKE) pump-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) cc-smoke
 	$(MAKE) bench-compare
 
 ## one short scenario under cProfile; asserts the JSON artifact exists
@@ -51,6 +52,18 @@ fleet-smoke:
 		assert b.result.workers_effective >= 2, b.result; \
 		print('fleet-smoke: %d sessions, serial==sharded digest %s...' \
 		% (a.result.tasks, da[:12]))"
+
+## scheme x CC matrix smoke: every registered congestion controller
+## (newreno, cubic, lia, bbr, mpbbr) drives a tiny A/B day end-to-end
+## under sp and xlink; catches a controller that wedges the pump or
+## produces degenerate QoE before the full report runs
+cc-smoke:
+	@$(PY) -c "from repro.experiments.report import section_ccmatrix; \
+		s = section_ccmatrix(2); \
+		rows = [l for l in s.body.splitlines() \
+		if l.startswith('|')][2:]; \
+		assert len(rows) == 10, s.body; \
+		print('cc-smoke: %d scheme x cc matrix rows' % len(rows))"
 
 ## the full 4 MB pump benchmark, printed as JSON (no report written)
 bench-pump:

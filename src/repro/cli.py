@@ -35,6 +35,7 @@ from typing import List, Optional
 from repro.experiments import (ABTestConfig, PathSpec, SCHEMES,
                                run_ab_day, run_bulk_download,
                                run_video_session)
+from repro.experiments.harness import scheme_with_cc
 from repro.experiments.contention import ContentionConfig, run_contention
 from repro.experiments.mobility import FIG13_SCHEMES, run_mobility_trace
 from repro.metrics import percentile
@@ -66,6 +67,14 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=0, metavar="N",
         help="process-pool fan-out for independent sessions "
              "(0 = all cores, 1 = in-process; default: all cores)")
+
+
+def _add_cc_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.quic.cc import CC_REGISTRY
+    parser.add_argument(
+        "--cc", default="cubic", choices=sorted(CC_REGISTRY),
+        help="congestion controller the QUIC schemes run "
+             "(default: cubic, the paper's production choice)")
 
 
 def _add_network_args(parser: argparse.ArgumentParser) -> None:
@@ -180,7 +189,8 @@ def cmd_chaos(args) -> int:
     from repro.experiments.chaos import ChaosSoakConfig, run_chaos_soak
     config = ChaosSoakConfig(scenarios=args.scenarios, seed=args.seed,
                              stall_bound_s=args.stall_bound,
-                             idle_timeout_s=args.idle_timeout)
+                             idle_timeout_s=args.idle_timeout,
+                             cc_algorithm=args.cc)
     result = run_chaos_soak(config)
     print(f"{'#':>3} {'scheme':<12} {'sess':>4} {'done':>4} "
           f"{'evict':>5} {'verdict':<8} faults")
@@ -215,6 +225,10 @@ def cmd_chaos(args) -> int:
 def cmd_ab(args) -> int:
     cfg = ABTestConfig(users_per_day=args.users, seed=args.seed)
     schemes = ["sp", args.treatment]
+    if args.cc != "cubic":
+        # Scheme × CC variants registered here ride to fork workers on
+        # SessionTask.scheme_config.
+        schemes = [scheme_with_cc(s, args.cc) for s in schemes]
     results = run_ab_day(cfg, args.day, schemes,
                          workers=args.workers or None)
     for scheme in schemes:
@@ -296,7 +310,8 @@ def cmd_mobility(args) -> int:
     pair = pairs[args.trace - 1]
     result = run_mobility_trace(pair, schemes=args.schemes,
                                 seed=args.seed,
-                                workers=args.workers or None)
+                                workers=args.workers or None,
+                                cc=None if args.cc == "cubic" else args.cc)
     print(f"trace {pair['trace_id']} ({pair['environment']}):")
     for scheme in args.schemes:
         print(f"  {scheme:<12} median={result.median(scheme):.2f}s "
@@ -361,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "blackhole seconds")
     chaos.add_argument("--idle-timeout", type=float, default=4.0,
                        help="endpoint idle timeout / host eviction age (s)")
+    _add_cc_arg(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     ab = sub.add_parser("ab", help="one A/B day vs single-path")
@@ -368,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     ab.add_argument("--users", type=int, default=10)
     ab.add_argument("--day", type=int, default=1)
     ab.add_argument("--seed", type=int, default=0)
+    _add_cc_arg(ab)
     _add_workers_arg(ab)
     ab.set_defaults(func=cmd_ab)
 
@@ -397,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     mobility.add_argument("--schemes", nargs="+",
                           default=list(FIG13_SCHEMES))
     mobility.add_argument("--seed", type=int, default=0)
+    _add_cc_arg(mobility)
     _add_workers_arg(mobility)
     mobility.set_defaults(func=cmd_mobility)
 

@@ -56,8 +56,25 @@ class _BaseScheduler:
     # -- helpers ---------------------------------------------------------
 
     @staticmethod
-    def _with_window(paths: List[Path]) -> List[Path]:
-        return [p for p in paths if p.cc.can_send(MAX_DATAGRAM_SIZE)]
+    def _with_window(paths: List[Path],
+                     now: Optional[float] = None) -> List[Path]:
+        """Paths with cwnd room whose pacer (if any) has released.
+
+        A pacing-blocked path is skipped rather than waited on, so a
+        paced fast path never stalls data that a slower path could
+        carry now; the connection's pacing timer re-pumps when the
+        fast path's token releases.
+        """
+        out = []
+        for p in paths:
+            cc = p.cc
+            if not cc.can_send(MAX_DATAGRAM_SIZE):
+                continue
+            if cc.paced and now is not None \
+                    and cc.next_send_time(now) > now + 1e-9:
+                continue
+            out.append(p)
+        return out
 
     @staticmethod
     def _min_rtt(paths: List[Path]) -> Optional[Path]:
@@ -68,7 +85,7 @@ class SinglePathScheduler(_BaseScheduler):
     """Always the (single) active path; used by SP and CM baselines."""
 
     def select_path(self, conn, chunk) -> Optional[Path]:
-        usable = self._with_window(conn.usable_paths())
+        usable = self._with_window(conn.usable_paths(), conn.loop.now)
         return usable[0] if usable else None
 
 
@@ -76,7 +93,8 @@ class MinRttScheduler(_BaseScheduler):
     """Vanilla-MP: lowest smoothed RTT among paths with window space."""
 
     def select_path(self, conn, chunk) -> Optional[Path]:
-        return self._min_rtt(self._with_window(conn.usable_paths()))
+        return self._min_rtt(
+            self._with_window(conn.usable_paths(), conn.loop.now))
 
 
 class RoundRobinScheduler(_BaseScheduler):
@@ -86,7 +104,7 @@ class RoundRobinScheduler(_BaseScheduler):
         self._next = 0
 
     def select_path(self, conn, chunk) -> Optional[Path]:
-        usable = self._with_window(conn.usable_paths())
+        usable = self._with_window(conn.usable_paths(), conn.loop.now)
         if not usable:
             return None
         usable.sort(key=lambda p: p.path_id)
@@ -119,7 +137,7 @@ class XlinkScheduler(_BaseScheduler):
     # -- path selection ---------------------------------------------------
 
     def select_path(self, conn, chunk) -> Optional[Path]:
-        usable = self._with_window(conn.usable_paths())
+        usable = self._with_window(conn.usable_paths(), conn.loop.now)
         if not usable:
             return None
         # Avoid suspect paths (nothing received for several RTTs) when

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.host import SessionRuntime, VideoSessionSpec
-from repro.host.specs import PathSpec, build_network
+from repro.host.specs import PathSpec, build_network, scheme_with_cc
 from repro.netem.chaos import ChaosSchedule
 from repro.quic.connection import aggregate_robustness
 from repro.quic.path import PathState
@@ -56,6 +56,9 @@ class ChaosSoakConfig:
     stall_bound_s: float = 5.0
     #: idle timeout used by both endpoints and host eviction
     idle_timeout_s: float = 4.0
+    #: congestion controller the drawn schemes run ("cubic" is the
+    #: bit-pinned default; any ``repro.quic.cc`` registry name works)
+    cc_algorithm: str = "cubic"
 
 
 @dataclass
@@ -163,10 +166,16 @@ def _draw_scenario(rng, index: int) -> _Scenario:
 
 def run_chaos_scenario(index: int, seed: int,
                        stall_bound_s: float = 5.0,
-                       idle_timeout_s: float = 4.0) -> ScenarioOutcome:
+                       idle_timeout_s: float = 4.0,
+                       cc_algorithm: str = "cubic") -> ScenarioOutcome:
     """Run one randomized scenario and check its invariants."""
     rng = make_rng(seed, f"chaos-scenario-{index}")
     scenario = _draw_scenario(rng, index)
+    if cc_algorithm != "cubic":
+        # Same drawn shape, different transport: the scheme draw above
+        # consumed identical rng state, so a cc override changes only
+        # the controller (and, deliberately, the digest).
+        scenario.scheme = scheme_with_cc(scenario.scheme, cc_algorithm)
     loop = EventLoop()
     paths = [PathSpec(CELL_PATH_ID, RadioType.LTE, 0.035, rate_bps=24e6)]
     for i in range(scenario.sessions):
@@ -309,7 +318,8 @@ def run_chaos_soak(config: ChaosSoakConfig) -> ChaosSoakResult:
     """Run the full soak and digest its fingerprints."""
     outcomes = [run_chaos_scenario(i, config.seed,
                                    stall_bound_s=config.stall_bound_s,
-                                   idle_timeout_s=config.idle_timeout_s)
+                                   idle_timeout_s=config.idle_timeout_s,
+                                   cc_algorithm=config.cc_algorithm)
                 for i in range(config.scenarios)]
     digest = hashlib.sha256(
         repr([o.fingerprint for o in outcomes]).encode()).hexdigest()

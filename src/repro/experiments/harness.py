@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 from repro.host.runtime import (SessionResult, SessionRuntime,
                                 VideoSessionSpec)
 from repro.host.specs import (SCHEMES, PathSpec, SchemeConfig, build_network,
-                              make_scheduler)
+                              make_scheduler, scheme_with_cc)
 from repro.metrics.qoe import SessionMetrics
 from repro.mptcp import MptcpConnection
 from repro.netem import Datagram, MultipathNetwork
@@ -39,6 +39,7 @@ __all__ = [
     "SessionResult",
     "run_bulk_download",
     "run_video_session",
+    "scheme_with_cc",
 ]
 
 

@@ -16,7 +16,7 @@ from typing import Dict, Iterator, List, Sequence
 from typing import Optional
 
 from repro.experiments.harness import (SCHEMES, PathSpec, run_bulk_download,
-                                       run_video_session)
+                                       run_video_session, scheme_with_cc)
 from repro.experiments.parallel import SessionTask, fan_out
 from repro.metrics.stats import percentile
 from repro.sim.rng import derive_seed
@@ -92,17 +92,23 @@ def _chunked_video(n_chunks: int = CHUNKS_PER_TRACE,
 
 
 def run_scheme_on_trace(pair: dict, scheme: str, seed: int = 0,
-                        timeout_s: float = 120.0) -> List[float]:
+                        timeout_s: float = 120.0,
+                        cc: Optional[str] = None) -> List[float]:
     """Per-chunk download times for one scheme over one trace pair.
 
     Module-level (and all-plain-data) so :func:`fan_out` can ship it to
-    a worker process.
+    a worker process.  ``cc`` overrides the scheme's congestion
+    controller; the variant is registered *here*, inside the worker,
+    because plain ``fan_out`` does not ship scheme configs.  The MPTCP
+    baseline keeps its own fixed controller.
     """
     paths = _paths_for_trace(pair)
     if scheme == "sp":
         paths = paths[:1]
     if scheme == "mptcp":
         return _run_mptcp_paced(paths, timeout_s=timeout_s, seed=seed)
+    if cc is not None:
+        scheme = scheme_with_cc(scheme, cc)
     # Realistic streaming player: finite buffer, constant-bitrate
     # consumption, *sequential* chunk requests (Appendix B: the
     # test player "sequentially requested data chunks").  The
@@ -123,12 +129,17 @@ def run_scheme_on_trace(pair: dict, scheme: str, seed: int = 0,
 
 def run_mobility_trace(pair: dict, schemes: Sequence[str] = FIG13_SCHEMES,
                        seed: int = 0, timeout_s: float = 120.0,
-                       workers: Optional[int] = None) -> MobilityResult:
-    """Run every scheme over one (cellular, wifi) trace pair."""
+                       workers: Optional[int] = None,
+                       cc: Optional[str] = None) -> MobilityResult:
+    """Run every scheme over one (cellular, wifi) trace pair.
+
+    ``cc`` runs the QUIC schemes under that congestion controller;
+    results stay keyed by the base scheme names.
+    """
     result = MobilityResult(trace_id=pair["trace_id"],
                             environment=pair["environment"])
     jobs = [{"pair": pair, "scheme": scheme, "seed": seed,
-             "timeout_s": timeout_s} for scheme in schemes]
+             "timeout_s": timeout_s, "cc": cc} for scheme in schemes]
     for scheme, times in zip(schemes, fan_out(run_scheme_on_trace, jobs,
                                               workers=workers)):
         result.times[scheme] = times

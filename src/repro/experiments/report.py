@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.abtest import (ABTestConfig, daily_improvement,
-                                      run_ab_test)
+                                      run_ab_day, run_ab_test)
+from repro.experiments.harness import scheme_with_cc
 from repro.experiments.dynamics import FIG6_MODES, run_fig6_dynamics
 from repro.experiments.energyexp import normalize, run_fig14
 from repro.experiments.firstframe import FIG12_PERCENTILES, run_fig12
@@ -110,6 +111,38 @@ def section_ab(users: int, days: int) -> List[ReportSection]:
         _table(["day", "SP p99 RCT (s)", "XLINK p99 RCT (s)",
                 "rebuffer improvement", "cost"], rows)))
     return sections
+
+
+#: the scheme × CC matrix swept by the ``ccmatrix`` report section
+CC_MATRIX_SCHEMES = ("sp", "xlink")
+CC_MATRIX_CCS = ("cubic", "newreno", "lia", "bbr", "mpbbr")
+
+
+def section_ccmatrix(users: int) -> ReportSection:
+    """One A/B day per congestion controller (ROADMAP item 4).
+
+    Every controller in the registry drives the SP baseline and full
+    XLINK over the same seeded population, so the per-CC QoE rows are
+    directly comparable down the table.
+    """
+    cfg = ABTestConfig(users_per_day=users, seed=5)
+    rows = []
+    for cc in CC_MATRIX_CCS:
+        schemes = [scheme_with_cc(s, cc) for s in CC_MATRIX_SCHEMES]
+        results = run_ab_day(cfg, 1, schemes)
+        for base, name in zip(CC_MATRIX_SCHEMES, schemes):
+            day = results[name]
+            rcts = day.rcts
+            rows.append([base, cc,
+                         f"{percentile(rcts, 50):.3f}",
+                         f"{percentile(rcts, 95):.3f}",
+                         f"{percentile(rcts, 99):.3f}",
+                         f"{day.rebuffer_rate * 100:.2f}%",
+                         f"{day.traffic_overhead_percent:.1f}%"])
+    return ReportSection(
+        "Scheme × CC matrix — per-controller QoE (one A/B day)",
+        _table(["scheme", "cc", "RCT p50 (s)", "RCT p95 (s)",
+                "RCT p99 (s)", "rebuffer", "cost"], rows))
 
 
 def section_fig12(users: int) -> ReportSection:
@@ -263,6 +296,7 @@ def generate_report(scale: str = "quick",
         # the fleet tier is cheap per session (2s clip), so its
         # population is scaled 8x the per-day A/B cohort
         "fleet": lambda: section_fleet(users * 8),
+        "ccmatrix": lambda: [section_ccmatrix(users)],
         "fig12": lambda: [section_fig12(users)],
         "fig13": lambda: [section_fig13(traces)],
         "fig14": lambda: [section_fig14()],

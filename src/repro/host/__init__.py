@@ -14,7 +14,7 @@ from repro.host.runtime import (SessionHandle, SessionResult, SessionRuntime,
                                 VideoSessionSpec)
 from repro.host.server import ServerHost
 from repro.host.specs import (SCHEMES, Interface, PathSpec, SchemeConfig,
-                              build_network, make_scheduler)
+                              build_network, make_scheduler, scheme_with_cc)
 
 __all__ = [
     "SCHEMES",
@@ -30,4 +30,5 @@ __all__ = [
     "VideoSessionSpec",
     "build_network",
     "make_scheduler",
+    "scheme_with_cc",
 ]

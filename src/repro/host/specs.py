@@ -20,7 +20,7 @@ mptcp       the MPTCP baseline (bulk transfers; single ordered stream)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.core import (MinRttScheduler, ReinjectionMode, SinglePathScheduler,
@@ -97,6 +97,35 @@ SCHEMES: Dict[str, SchemeConfig] = {
         first_frame_acceleration=False),
     "mptcp": SchemeConfig(name="mptcp", multipath=True, is_mptcp=True),
 }
+
+
+def scheme_with_cc(scheme_name: str, cc: str) -> str:
+    """Register (idempotently) and name a scheme × CC variant.
+
+    ``scheme_with_cc("xlink", "bbr")`` returns ``"xlink+bbr"`` backed
+    by the xlink :class:`SchemeConfig` with ``cc_algorithm="bbr"``.
+    The base scheme's default CC returns the base name unchanged, so
+    experiment drivers can map every scheme through this without
+    perturbing the default (bit-pinned) configurations.  The MPTCP
+    baseline has its own fixed controller and is returned unchanged.
+
+    The variant is inserted into ``SCHEMES``, which is exactly what
+    :class:`~repro.experiments.parallel.SessionTask.scheme_config`
+    ships to fork workers, so dynamically created variants work under
+    parallel fan-out too.
+    """
+    base = SCHEMES[scheme_name]
+    if base.is_mptcp or cc == base.cc_algorithm:
+        return scheme_name
+    name = f"{scheme_name}+{cc}"
+    if name not in SCHEMES:
+        # Validate eagerly: an unknown CC should fail at configuration
+        # time, not inside a worker process mid-experiment.
+        from repro.quic.cc import CC_REGISTRY
+        if cc not in CC_REGISTRY:
+            raise ValueError(f"unknown congestion controller {cc!r}")
+        SCHEMES[name] = replace(base, name=name, cc_algorithm=cc)
+    return name
 
 
 def make_scheduler(scheme: SchemeConfig):

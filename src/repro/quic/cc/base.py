@@ -3,6 +3,18 @@
 Controllers are event-driven: the loss-detection layer reports packet
 sends, acks and losses; the scheduler asks ``can_send`` before placing
 a packet on the path.
+
+Two controller families share this interface:
+
+* **Loss-based** (NewReno, Cubic, LIA): window arithmetic only.  They
+  keep ``paced = False`` and the connection never consults pacing
+  state or computes delivery-rate samples for them -- the hot path is
+  byte-identical to the pre-pacing code.
+* **Model-based** (BBR, multipath-BBR): ``paced = True``.  They expose
+  a ``pacing_rate`` and a ``next_send_time`` token-release deadline,
+  and consume :class:`RateSample` objects built by the connection from
+  RFC-style ``delivered``/``delivered_time`` bookkeeping on each
+  :class:`~repro.quic.loss_detection.SentPacket`.
 """
 
 from __future__ import annotations
@@ -29,8 +41,33 @@ class CcEvent(enum.Enum):
     RECOVERY = "recovery"
 
 
+@dataclass(slots=True)
+class RateSample:
+    """One delivery-rate measurement (draft-cheng-iccrg-delivery-rate).
+
+    Built by the connection per newly-acked in-flight packet:
+    ``delivery_rate = (delivered - pkt_delivered) / (now - pkt_delivered_time)``
+    where ``pkt_delivered``/``pkt_delivered_time`` were stamped on the
+    packet at send time from the path's running ``delivered`` total.
+    """
+
+    delivery_rate: float     # bytes/sec over the sample interval
+    rtt: float               # RTT of the sampled packet (sec)
+    delivered: int           # path delivered-bytes total at ack time
+    pkt_delivered: int       # delivered total stamped at send time
+    acked_bytes: int         # size of the acked packet
+    now: float
+    #: sample taken while the sender had no data to send; must not
+    #: raise the bandwidth filter (it underestimates the link)
+    app_limited: bool = False
+
+
 class CongestionController(abc.ABC):
     """Abstract per-path congestion controller."""
+
+    #: Model-based controllers set True; the connection then feeds
+    #: rate samples and honors ``next_send_time`` in the pump.
+    paced: bool = False
 
     def __init__(self) -> None:
         self.cwnd: float = float(INITIAL_WINDOW)
@@ -55,6 +92,20 @@ class CongestionController(abc.ABC):
     def in_recovery(self, sent_time: float) -> bool:
         return sent_time <= self.recovery_start_time
 
+    @property
+    def pacing_rate(self) -> float:
+        """Target send rate in bytes/sec; inf = unpaced (window-only)."""
+        return float("inf")
+
+    def next_send_time(self, now: float) -> float:
+        """Earliest time the pacer releases the next packet.
+
+        Unpaced controllers always answer ``now`` (no constraint).
+        Paced controllers return their token-release deadline; the
+        pump arms a lazy timer when it lies in the future.
+        """
+        return now
+
     # -- events ----------------------------------------------------------
 
     def on_packet_sent(self, size: int, now: float) -> None:
@@ -73,6 +124,14 @@ class CongestionController(abc.ABC):
         if not self.in_recovery(latest_sent_time):
             self.recovery_start_time = now
             self._on_congestion_event(now)
+
+    def on_rate_sample(self, sample: RateSample) -> None:
+        """Consume a delivery-rate sample (model-based controllers).
+
+        The connection only builds samples for controllers with
+        ``paced = True``; the default is a no-op so loss-based
+        controllers pay nothing.
+        """
 
     def on_discarded(self, size: int) -> None:
         """Packet no longer tracked (e.g. path abandoned)."""

@@ -10,7 +10,7 @@ stay per-subflow.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List, Optional
 
 from repro.quic.cc.base import (CongestionController, MAX_DATAGRAM_SIZE,
                                 MINIMUM_WINDOW)
@@ -48,11 +48,12 @@ class LiaCoordinator:
 class LiaCoupledCc(CongestionController):
     """One subflow of an LIA-coupled connection."""
 
-    def __init__(self, coordinator: LiaCoordinator) -> None:
+    def __init__(self, coordinator: Optional[LiaCoordinator] = None) -> None:
         super().__init__()
-        self.coordinator = coordinator
+        self.coordinator = coordinator if coordinator is not None \
+            else LiaCoordinator()
         self.last_rtt = 0.1
-        coordinator.register(self)
+        self.coordinator.register(self)
 
     def _increase_window(self, acked_bytes: int, sent_time: float,
                          now: float, rtt: float) -> None:

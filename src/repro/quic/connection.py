@@ -31,7 +31,7 @@ import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.quic.cc import LiaCoordinator, LiaCoupledCc, make_cc
+from repro.quic.cc import RateSample, make_cc, make_coordinator
 from repro.quic.cc.base import MAX_DATAGRAM_SIZE
 from repro.quic.cid import CidRegistry, ConnectionId
 from repro.quic.crypto import PacketProtection, TAG_LENGTH, derive_connection_key
@@ -92,7 +92,9 @@ class ConnectionConfig:
 
     is_client: bool = True
     enable_multipath: bool = True
-    cc_algorithm: str = "cubic"       # "cubic" | "newreno" | "lia"
+    #: congestion controller: any name in ``repro.quic.cc.CC_REGISTRY``
+    #: ("cubic" | "newreno" | "lia" | "bbr" | "mpbbr")
+    cc_algorithm: str = "cubic"
     #: ACK_MP return-path policy: "fastest" (XLINK) or "original" (MPTCP-like)
     ack_path_policy: str = "fastest"
     max_ack_delay: float = 0.025
@@ -227,7 +229,15 @@ class Connection:
         self.paths: Dict[int, Path] = {}
         #: QUIC path id -> network interface id used by ``transmit``
         self.net_path_of: Dict[int, int] = {}
-        self._lia = LiaCoordinator() if config.cc_algorithm == "lia" else None
+        #: shared coordinator for coupled controllers (lia/mpbbr), else None
+        self._cc_coordinator = make_coordinator(config.cc_algorithm)
+        #: True once any path runs a paced (model-based) controller;
+        #: gates every pacing/rate-sample code path so the default
+        #: loss-based configuration takes identical branches to the
+        #: pre-pacing connection.
+        self._any_paced = False
+        self._pacing_event = None
+        self._pacing_deadline: Optional[float] = None
 
         self.send_streams: Dict[int, SendStream] = {}
         self.recv_streams: Dict[int, ReceiveStream] = {}
@@ -338,9 +348,14 @@ class Connection:
     # ------------------------------------------------------------------
 
     def _make_cc(self):
-        if self._lia is not None:
-            return LiaCoupledCc(self._lia)
-        return make_cc(self.config.cc_algorithm)
+        if self._cc_coordinator is not None:
+            cc = make_cc(self.config.cc_algorithm,
+                         coordinator=self._cc_coordinator)
+        else:
+            cc = make_cc(self.config.cc_algorithm)
+        if cc.paced:
+            self._any_paced = True
+        return cc
 
     def add_local_path(self, path_id: int, net_path_id: int,
                        radio: Optional[RadioType] = None) -> Path:
@@ -365,6 +380,10 @@ class Connection:
             remote = ConnectionId(cid=initial, sequence_number=path_id)
         path = Path(path_id, local_cid, remote, self._make_cc(), radio=radio,
                     max_ack_delay=self.config.max_ack_delay)
+        if path.cc.paced:
+            # The loss detector stamps delivered/delivered_time on every
+            # sent packet only when the controller consumes rate samples.
+            path.loss.rate_sampling = True
         self.paths[path_id] = path
         self.net_path_of[path_id] = net_path_id
         self._eliciting_since_ack[path_id] = 0
@@ -901,6 +920,8 @@ class Connection:
             self._on_qoe(frame.qoe)
         acked, lost, _rtt = path.loss.on_ack_received(
             frame.ranges, frame.ack_delay_us / 1e6, self.loop.now)
+        if path.cc.paced and acked:
+            self._feed_rate_samples(path, acked, self.loop.now)
         for pkt in acked:
             if pkt.in_flight:
                 path.cc.on_packet_acked(pkt.size, pkt.sent_time,
@@ -914,6 +935,37 @@ class Connection:
         if self.scheduler is not None and hasattr(self.scheduler, "on_ack"):
             self.scheduler.on_ack(self, path, acked, lost)
         self._arm_loss_timer()
+
+    def _feed_rate_samples(self, path: Path, acked, now: float) -> None:
+        """Build per-packet delivery-rate samples for a paced controller.
+
+        ``rate = (delivered_now - pkt.delivered) / (delivered_time -
+        pkt.delivered_time)``: bytes delivered over the interval since
+        the acked packet left, using the totals the loss detector
+        stamped on it at send time.  Samples taken over an app-limited
+        send period are flagged so they cannot deflate the bandwidth
+        model.
+        """
+        loss = path.loss
+        delivered_now = loss.delivered
+        limited_until = loss.app_limited_until
+        if limited_until and delivered_now >= limited_until:
+            loss.app_limited_until = limited_until = 0
+        cc = path.cc
+        for pkt in acked:
+            if not pkt.in_flight:
+                continue
+            interval = loss.delivered_time - pkt.delivered_time
+            if interval <= 0:
+                continue
+            cc.on_rate_sample(RateSample(
+                delivery_rate=(delivered_now - pkt.delivered) / interval,
+                rtt=now - pkt.sent_time,
+                delivered=delivered_now,
+                pkt_delivered=pkt.delivered,
+                acked_bytes=pkt.size,
+                now=now,
+                app_limited=pkt.delivered < limited_until))
 
     def _on_frames_acked(self, pkt: SentPacket) -> None:
         for info in pkt.frames_info:
@@ -1062,6 +1114,21 @@ class Connection:
             if path is None:
                 break  # all candidate paths are congestion-limited
             self._send_data_packet(path, chunk)
+        if self._any_paced:
+            if self.send_queue:
+                # Data is waiting: if every candidate path is merely
+                # pacing-blocked (not window-blocked), wake the pump at
+                # the earliest token release.
+                self._arm_pacing_timer()
+            else:
+                # Queue drained with window to spare: mark the paths
+                # app-limited so the quiet period cannot be read as the
+                # bottleneck bandwidth.
+                for p in self.usable_paths():
+                    loss = p.loss
+                    if loss.rate_sampling:
+                        loss.app_limited_until = \
+                            loss.delivered + loss.bytes_in_flight
         self._arm_loss_timer()
 
     def _chunk_sendable(self, chunk: SendChunk) -> bool:
@@ -1309,6 +1376,47 @@ class Connection:
         self._timer_event = self.loop.schedule_at(
             when, self._on_loss_timer, label="loss-timer")
 
+    def _arm_pacing_timer(self) -> None:
+        """Wake the pump at the earliest pacing-token release.
+
+        Same lazy-deadline discipline as the loss timer: an already
+        armed earlier wakeup is kept (it re-arms itself if it fires
+        stale) instead of paying a heap cancel+push per deadline move.
+        """
+        if self.closed:
+            return
+        now = self.loop.now
+        when: Optional[float] = None
+        for p in self.usable_paths():
+            cc = p.cc
+            if not cc.paced or not cc.can_send():
+                continue
+            t = cc.next_send_time(now)
+            if t > now + 1e-9 and (when is None or t < when):
+                when = t
+        self._pacing_deadline = when
+        if when is None:
+            return
+        event = self._pacing_event
+        if event is not None:
+            if event.time <= when:
+                return
+            event.cancel()
+        self._pacing_event = self.loop.schedule_at(
+            when, self._on_pacing_timer, label="pacing-timer")
+
+    def _on_pacing_timer(self) -> None:
+        self._pacing_event = None
+        if self.closed:
+            return
+        deadline = self._pacing_deadline
+        if deadline is not None and deadline > self.loop.now + 1e-9:
+            # Stale wakeup: the deadline moved later after this event
+            # was armed; re-arm without pumping.
+            self._arm_pacing_timer()
+            return
+        self._pump()
+
     def _on_loss_timer(self) -> None:
         self._timer_event = None
         if self.closed:
@@ -1448,10 +1556,12 @@ class Connection:
 
     def _cancel_timers(self) -> None:
         for event in (self._timer_event, self._ack_timer_event,
-                      self._handshake_retransmit_event, self._idle_event):
+                      self._handshake_retransmit_event, self._idle_event,
+                      self._pacing_event):
             if event is not None:
                 event.cancel()
         self._timer_event = None
         self._ack_timer_event = None
         self._handshake_retransmit_event = None
         self._idle_event = None
+        self._pacing_event = None

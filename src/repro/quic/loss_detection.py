@@ -50,6 +50,12 @@ class SentPacket:
     in_flight: bool
     #: opaque payload descriptors the connection uses on ack/loss
     frames_info: tuple = ()
+    #: delivery-rate bookkeeping (draft-cheng-iccrg-delivery-rate):
+    #: the path's delivered-bytes total and its timestamp, copied from
+    #: the detector at send time.  An ack of this packet then yields
+    #: ``rate = (delivered_now - delivered) / (now - delivered_time)``.
+    delivered: int = 0
+    delivered_time: float = 0.0
 
 
 class PathLossDetector:
@@ -82,6 +88,17 @@ class PathLossDetector:
         #: the ``ranges[1:]`` of the last fully processed ACK; a later
         #: ACK repeating the same tail can skip re-walking it entirely
         self._last_ack_tail: Tuple[AckRange, ...] = ()
+        #: delivery-rate bookkeeping for paced (model-based) congestion
+        #: controllers.  Off by default: the connection flips
+        #: ``rate_sampling`` on when the path's controller wants
+        #: samples, so loss-based paths pay one boolean test per event.
+        self.rate_sampling = False
+        #: total in-flight bytes delivered (cumulatively acked)
+        self.delivered = 0
+        #: virtual time of the most recent delivery (or send-epoch)
+        self.delivered_time = 0.0
+        #: ``delivered`` marker below which samples are app-limited
+        self.app_limited_until = 0
 
     # -- send/ack/loss machinery ------------------------------------------
 
@@ -94,6 +111,13 @@ class PathLossDetector:
         else:
             self._last_pn = pn
             self._last_sent_time = pkt.sent_time
+        if self.rate_sampling:
+            if self._bytes_in_flight == 0:
+                # Idle restart: the delivery interval opens now, not at
+                # the last ack before the idle gap.
+                self.delivered_time = pkt.sent_time
+            pkt.delivered = self.delivered
+            pkt.delivered_time = self.delivered_time
         self.sent[pn] = pkt
         self._tracked_count += 1
         if pkt.ack_eliciting:
@@ -197,6 +221,11 @@ class PathLossDetector:
                     self.rtt.update(rtt_sample, ack_delay)
         if newly_acked:
             self.pto_count = 0
+            if self.rate_sampling:
+                delivered = sum(p.size for p in newly_acked if p.in_flight)
+                if delivered:
+                    self.delivered += delivered
+                    self.delivered_time = now
         newly_lost = self._detect_losses(now)
         return newly_acked, newly_lost, rtt_sample
 

@@ -29,8 +29,15 @@ SMALL_VIDEO = make_video(duration_s=4.0, bitrate_bps=1_500_000, seed=9)
 
 class TestSchemeTable:
     def test_all_schemes_defined(self):
-        assert set(SCHEMES) == {"sp", "cm", "vanilla_mp", "reinject",
-                                "xlink", "xlink_nofa", "mptcp"}
+        base = {name for name in SCHEMES if "+" not in name}
+        assert base == {"sp", "cm", "vanilla_mp", "reinject",
+                        "xlink", "xlink_nofa", "mptcp"}
+        # anything else is a scheme_with_cc() "<scheme>+<cc>" variant
+        # registered by an earlier test or driver in this process
+        for name in set(SCHEMES) - base:
+            root, _, cc = name.partition("+")
+            assert root in base
+            assert SCHEMES[name].cc_algorithm == cc
 
     def test_sp_single_path(self):
         assert not SCHEMES["sp"].multipath

@@ -114,6 +114,34 @@ class TestPumpEquivalence:
         assert _chaos_digest(6, 7) == snapshot["chaos_digest_6_seed7"]
 
 
+class TestCcRefactorEquivalence:
+    """The pluggable-CC refactor leaves default Cubic untouched.
+
+    The frozen-snapshot pins above already prove the *outputs* are
+    bit-identical; these pin the *mechanism*: a "+cubic" variant is
+    the base scheme itself (no shadow registration), and a default
+    session never engages any of the pacing machinery.
+    """
+
+    def test_cubic_variant_is_the_base_scheme(self):
+        from repro.experiments.harness import scheme_with_cc
+        for scheme in VIDEO_SCHEMES:
+            assert scheme_with_cc(scheme, "cubic") == scheme
+        # the MPTCP baseline keeps its own fixed controller
+        assert scheme_with_cc(BULK_SCHEME, "bbr") == BULK_SCHEME
+
+    def test_default_cubic_session_stays_unpaced(self):
+        result = run_video_session("xlink", _paths(None), seed=3)
+        conn = result.client
+        assert conn._any_paced is False
+        assert conn._pacing_event is None
+        for path in conn.paths.values():
+            assert path.cc.paced is False
+            assert path.loss.rate_sampling is False
+            # no delivery-rate bookkeeping ever ran
+            assert path.loss.delivered == 0
+
+
 if __name__ == "__main__":
     import argparse
 

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.quic.cc import CubicCc, LiaCoordinator, LiaCoupledCc, NewRenoCc, make_cc
+from repro.quic.cc import (BbrCc, CubicCc, LiaCoordinator, LiaCoupledCc,
+                           MpBbrCc, NewRenoCc, make_cc)
 from repro.quic.cc.base import INITIAL_WINDOW, MAX_DATAGRAM_SIZE, MINIMUM_WINDOW
 from repro.quic.frames import AckRange
 from repro.quic.loss_detection import (PACKET_THRESHOLD, PathLossDetector,
@@ -350,7 +351,10 @@ class TestCcFactory:
     def test_make_cc_by_name(self):
         assert isinstance(make_cc("cubic"), CubicCc)
         assert isinstance(make_cc("newreno"), NewRenoCc)
+        assert isinstance(make_cc("lia"), LiaCoupledCc)
+        assert isinstance(make_cc("bbr"), BbrCc)
+        assert isinstance(make_cc("mpbbr"), MpBbrCc)
 
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError):
-            make_cc("bbr")
+            make_cc("vegas")
