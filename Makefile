@@ -2,15 +2,16 @@
 # importable without an editable install.
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test lint bench bench-pytest bench-pump chaos profile-smoke \
-	pump-smoke fleet-smoke cc-smoke bench-compare
+.PHONY: test lint bench bench-pytest bench-pump chaos fleet-chaos \
+	profile-smoke pump-smoke fleet-smoke cc-smoke bench-compare
 
-## tier-1 verification: lint gate, the chaos soak, the full
-## unit/integration suite, then the perf guards (profiling harness
-## smoke test, pump smoke, fleet determinism smoke, and the regression
-## diff against the committed BENCH_core.json -- which also enforces
-## the absolute hotpath_pump / multi_session / fleet floors)
-test: lint chaos
+## tier-1 verification: lint gate, the chaos soak, the fleet
+## supervision soak, the full unit/integration suite, then the perf
+## guards (profiling harness smoke test, pump smoke, fleet determinism
+## smoke, and the regression diff against the committed
+## BENCH_core.json -- which also enforces the absolute hotpath_pump /
+## multi_session / fleet floors and the checkpoint-overhead ceiling)
+test: lint chaos fleet-chaos
 	$(PY) -m pytest -x -q
 	$(MAKE) profile-smoke
 	$(MAKE) pump-smoke
@@ -80,6 +81,14 @@ bench-compare:
 ## invariant violation (see repro.experiments.chaos)
 chaos:
 	$(PY) -m repro chaos --scenarios 12 --seed 7
+
+## seeded worker-fault soak over the fleet supervisor: crash / hang /
+## raise / corrupt shards must retry to a digest bit-identical to the
+## fault-free run, sticky faults must quarantine honestly, and a
+## campaign killed at a day boundary must resume bit-identically
+## (see repro.experiments.fleetchaos)
+fleet-chaos:
+	$(PY) -m repro fleet-chaos
 
 ## ruff with the pinned config when installed, stdlib fallback otherwise
 lint:

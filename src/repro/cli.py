@@ -7,9 +7,16 @@ Commands:
 - ``serve``     -- one CDN host serving N concurrent sessions on a
   shared cell (the multi-user contention experiment)
 - ``ab``        -- run one A/B day (SP vs a treatment) and print stats
-- ``fleet``     -- sharded population run (10K-user scale) reduced
-  into streaming metric sketches; prints per-scheme QoE percentiles,
-  SP-vs-treatment deltas and the merged digest
+- ``fleet``     -- supervised sharded population run (10K-user scale)
+  reduced into streaming metric sketches; prints per-scheme QoE
+  percentiles, SP-vs-treatment deltas, retry/abandon accounting and
+  the merged digest.  With ``--checkpoint-dir`` the run becomes a
+  day-checkpointed campaign that ``--resume`` continues after a kill.
+  Exit codes: 0 clean, 3 sessions failed, 4 shards abandoned,
+  130 interrupted.
+- ``fleet-chaos`` -- seeded worker-fault soak over the fleet
+  supervisor (crash/hang/raise/corrupt shards plus a campaign
+  kill-and-resume); exits non-zero on any violated invariant
 - ``mobility``  -- replay one extreme-mobility trace pair (Fig. 13 row)
 - ``schemes``   -- list the available transport schemes
 - ``bench``     -- run the core perf suite, write ``BENCH_core.json``
@@ -242,37 +249,43 @@ def cmd_ab(args) -> int:
     return 0
 
 
-def cmd_fleet(args) -> int:
-    from repro.experiments.fleet import (ABPopulationDriver, FleetConfig,
-                                         run_fleet_driver)
+#: ``fleet`` exit codes: distinct failure classes for scripting.
+EXIT_SESSIONS_FAILED = 3
+EXIT_SHARDS_ABANDONED = 4
+EXIT_INTERRUPTED = 130
+
+
+def _fleet_exit_code(failed: int, abandoned_shards: int,
+                     interrupted: bool) -> int:
+    """Most-severe-wins mapping from run outcome to exit code."""
+    if interrupted:
+        return EXIT_INTERRUPTED
+    if abandoned_shards:
+        return EXIT_SHARDS_ABANDONED
+    if failed:
+        return EXIT_SESSIONS_FAILED
+    return 0
+
+
+def _print_failure_tally(failures, abandoned_tasks: int = 0) -> None:
+    """Per-exception-type session-failure tally (one line, sorted)."""
+    if not failures:
+        return
+    parts = " ".join(f"{kind}={n}" for kind, n in sorted(failures.items()))
+    print(f"failures: {parts}")
+    if abandoned_tasks:
+        print(f"  ({abandoned_tasks} of these are sessions inside "
+              f"abandoned shards)")
+
+
+def _print_sink_stats(sink, seed: int, permutation_rounds: int) -> None:
     from repro.metrics import improvement_percent, permutation_mean_test
-    schemes = tuple(args.schemes)
-    for scheme in schemes:
-        if scheme not in SCHEMES or SCHEMES[scheme].is_mptcp:
-            print(f"unknown or unsupported scheme for fleet: {scheme}",
-                  file=sys.stderr)
-            return 2
-    cfg = FleetConfig(users=args.users, days=args.days, schemes=schemes,
-                      paired=args.paired, timeout_s=args.timeout,
-                      seed=args.seed)
-    run = run_fleet_driver(ABPopulationDriver(cfg),
-                           workers=args.workers or None,
-                           shard_size=args.shard_size)
-    result = run.result
-    print(f"users={cfg.users} days={cfg.days} "
-          f"sessions={result.tasks} failed={result.failed} "
-          f"shards={result.shards} "
-          f"workers={result.workers_requested}/"
-          f"{result.workers_effective} (requested/effective)")
-    print(f"wall={run.seconds:.1f}s "
-          f"sessions_per_sec={run.sessions_per_sec:.1f} "
-          f"sink_buckets={run.sink.n_buckets}")
 
     def cell(value, spec="{:.3f}"):
         return "-" if value is None else spec.format(value)
 
-    for name in run.sink.scheme_names():
-        s = run.sink.scheme(name)
+    for name in sink.scheme_names():
+        s = sink.scheme(name)
         startup = s.startup.percentile(50)
         print(f"{name:<12} sessions={s.sessions} "
               f"rct_p50={cell(s.rct.percentile(50))} "
@@ -282,23 +295,123 @@ def cmd_fleet(args) -> int:
               f"{cell(None if startup is None else startup * 1000, '{:.0f}')} "
               f"rebuffer_pct={s.rebuffer_rate * 100:.2f} "
               f"cost_pct={s.traffic_overhead_percent:.1f}")
-    baseline = run.sink.get("sp")
+    baseline = sink.get("sp")
     if (baseline is not None and baseline.play_q > 0
-            and args.permutation_rounds > 0):
-        for name in run.sink.scheme_names():
+            and permutation_rounds > 0):
+        for name in sink.scheme_names():
             if name == "sp":
                 continue
-            treat = run.sink.scheme(name)
+            treat = sink.scheme(name)
             if treat.play_q <= 0:
                 continue
             sig = permutation_mean_test(
                 baseline.session_rebuffer_rate,
                 treat.session_rebuffer_rate,
-                rounds=args.permutation_rounds, seed=cfg.seed)
+                rounds=permutation_rounds, seed=seed)
             print(f"sp->{name:<9} rebuffer_improvement_pct="
                   f"{improvement_percent(baseline.rebuffer_rate, treat.rebuffer_rate):+.1f} "
                   f"p_value={cell(sig.p_value if sig else None)}")
+
+
+def _cmd_fleet_campaign(args, cfg) -> int:
+    """The ``--checkpoint-dir``/``--resume`` path: day-by-day campaign."""
+    from repro.experiments.campaign import CampaignError, FleetCampaign
+    campaign = FleetCampaign(
+        cfg, checkpoint_dir=args.checkpoint_dir,
+        workers=args.workers or None, shard_size=args.shard_size,
+        max_retries=args.max_retries, shard_timeout_s=args.shard_timeout)
+    try:
+        result = campaign.run(resume=args.resume, max_days=args.max_days)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for rec in result.days:
+        print(f"day {rec.day:>3}: sessions={rec.sessions} "
+              f"failed={rec.failed} retries={rec.retries} "
+              f"abandoned={rec.abandoned_shards} "
+              f"wall={rec.seconds:.1f}s digest={rec.digest[:12]}")
+    state = ("interrupted" if result.interrupted
+             else ("complete" if result.completed else "partial"))
+    print(f"campaign: {state} days={len(result.days)}/{result.days_planned} "
+          f"(resumed={result.resumed_days} executed={result.executed_days}) "
+          f"sessions={result.tasks} failed={result.failed} "
+          f"retries={result.retries} "
+          f"abandoned_shards={result.abandoned_shards}")
+    if result.checkpoint_path:
+        print(f"checkpoint: {result.checkpoint_path} "
+              f"(write overhead {result.checkpoint_seconds:.2f}s "
+              f"of {result.seconds:.1f}s)")
+    _print_failure_tally(result.failures, result.abandoned_tasks)
+    _print_sink_stats(result.sink, cfg.seed, args.permutation_rounds)
+    print(f"digest={result.digest}")
+    return _fleet_exit_code(result.failed, result.abandoned_shards,
+                            result.interrupted)
+
+
+def cmd_fleet(args) -> int:
+    from repro.experiments.fleet import (ABPopulationDriver, FleetConfig,
+                                         run_fleet_driver)
+    schemes = tuple(args.schemes)
+    for scheme in schemes:
+        if scheme not in SCHEMES or SCHEMES[scheme].is_mptcp:
+            print(f"unknown or unsupported scheme for fleet: {scheme}",
+                  file=sys.stderr)
+            return 2
+    cfg = FleetConfig(users=args.users, days=args.days, schemes=schemes,
+                      paired=args.paired, timeout_s=args.timeout,
+                      seed=args.seed)
+    if args.checkpoint_dir or args.resume:
+        if args.resume and not args.checkpoint_dir:
+            print("error: --resume requires --checkpoint-dir",
+                  file=sys.stderr)
+            return 2
+        return _cmd_fleet_campaign(args, cfg)
+    run = run_fleet_driver(ABPopulationDriver(cfg),
+                           workers=args.workers or None,
+                           shard_size=args.shard_size,
+                           max_retries=args.max_retries,
+                           shard_timeout_s=args.shard_timeout)
+    result = run.result
+    print(f"users={cfg.users} days={cfg.days} "
+          f"sessions={result.tasks} failed={result.failed} "
+          f"shards={result.shards} "
+          f"workers={result.workers_requested}/"
+          f"{result.workers_effective} (requested/effective)")
+    print(f"wall={run.seconds:.1f}s "
+          f"sessions_per_sec={run.sessions_per_sec:.1f} "
+          f"sink_buckets={run.sink.n_buckets}")
+    if result.retries or result.abandoned_shards or result.interrupted:
+        faults = " ".join(f"{k}={v}" for k, v
+                          in sorted(result.shard_faults.items()))
+        print(f"supervision: retries={result.retries} "
+              f"abandoned_shards={result.abandoned_shards} "
+              f"abandoned_tasks={result.abandoned_tasks} "
+              f"interrupted={result.interrupted}"
+              + (f" faults[{faults}]" if faults else ""))
+    _print_failure_tally(result.failures)
+    _print_sink_stats(run.sink, cfg.seed, args.permutation_rounds)
     print(f"digest={run.sink.digest()}")
+    return _fleet_exit_code(result.failed, result.abandoned_shards,
+                            result.interrupted)
+
+
+def cmd_fleet_chaos(args) -> int:
+    from repro.experiments.fleetchaos import (FleetChaosConfig,
+                                              run_fleet_chaos)
+    config = FleetChaosConfig(users=args.users, shard_size=args.shard_size,
+                              workers=args.workers or 2, seed=args.seed,
+                              shard_timeout_s=args.shard_timeout)
+    result = run_fleet_chaos(config)
+    for name, ok, detail in result.checks:
+        print(f"{'ok  ' if ok else 'FAIL'} {name}"
+              + ("" if ok else f"  [{detail}]"))
+    print(f"reference_digest={result.reference_digest}")
+    if not result.ok:
+        print(f"fleet-chaos FAILED ({len(result.failures)} violations)",
+              file=sys.stderr)
+        return 1
+    print(f"fleet-chaos passed: {len(result.checks)} invariants, "
+          f"seed {config.seed}")
     return 0
 
 
@@ -404,8 +517,38 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--permutation-rounds", type=int, default=200,
                        help="rounds for the significance test "
                             "(0 disables; default 200)")
+    fleet.add_argument("--max-retries", type=int, default=2,
+                       help="re-executions granted to a failed/hung/"
+                            "lost shard before it is abandoned "
+                            "(default 2)")
+    fleet.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-shard wall-clock deadline; a worker "
+                            "past it is killed and the shard retried "
+                            "(pool mode only; default: none)")
+    fleet.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="run as a day-checkpointed campaign, "
+                            "writing DIR/campaign.json after each day")
+    fleet.add_argument("--resume", action="store_true",
+                       help="continue the campaign in --checkpoint-dir, "
+                            "skipping completed days")
+    fleet.add_argument("--max-days", type=int, default=None, metavar="N",
+                       help="execute at most N new days this invocation "
+                            "(campaign mode)")
     _add_workers_arg(fleet)
     fleet.set_defaults(func=cmd_fleet)
+
+    fchaos = sub.add_parser(
+        "fleet-chaos",
+        help="seeded worker-fault soak over the fleet supervisor")
+    fchaos.add_argument("--users", type=int, default=24)
+    fchaos.add_argument("--shard-size", type=int, default=4)
+    fchaos.add_argument("--seed", type=int, default=11)
+    fchaos.add_argument("--shard-timeout", type=float, default=5.0,
+                        help="deadline that converts a hung worker "
+                             "into a timeout fault (default 5s)")
+    _add_workers_arg(fchaos)
+    fchaos.set_defaults(func=cmd_fleet_chaos)
 
     mobility = sub.add_parser("mobility", help="replay a mobility trace")
     mobility.add_argument("--trace", type=int, default=1,

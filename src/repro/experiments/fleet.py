@@ -122,11 +122,21 @@ class ABPopulationDriver:
             return self.cfg.schemes
         return (self.cfg.schemes[user % len(self.cfg.schemes)],)
 
+    def day_iter(self, day: int) -> Iterator[SessionTask]:
+        """One day's slice of the population stream.
+
+        Day seeds are derived independently (``derive_seed(seed,
+        "day-<d>")``), so the concatenation of ``day_iter(1..D)`` is
+        *exactly* ``task_iter()`` -- the property that lets a
+        checkpointed campaign resume day-by-day and still merge to the
+        digest of an uninterrupted run.
+        """
+        return iter_ab_day_tasks(self.cfg.ab_config(), day,
+                                 self.cfg.schemes, assign=self.assign)
+
     def task_iter(self) -> Iterator[SessionTask]:
-        ab = self.cfg.ab_config()
         for day in range(1, self.cfg.days + 1):
-            yield from iter_ab_day_tasks(ab, day, self.cfg.schemes,
-                                         assign=self.assign)
+            yield from self.day_iter(day)
 
 
 @dataclass
@@ -179,11 +189,17 @@ class FleetRun:
 def run_fleet_driver(driver: FleetDriver,
                      workers: Optional[int] = None,
                      shard_size: int = DEFAULT_SHARD_SIZE,
-                     sink: Optional[MetricSink] = None) -> FleetRun:
-    """Execute one driver's population through the sharded runner."""
+                     sink: Optional[MetricSink] = None,
+                     **supervision) -> FleetRun:
+    """Execute one driver's population through the supervised runner.
+
+    ``supervision`` kwargs (``max_retries``, ``shard_timeout_s``,
+    ``retry_backoff_s``, ``fault_plan``) pass straight through to
+    :func:`repro.experiments.parallel.run_fleet`.
+    """
     t0 = time.perf_counter()
     result = run_fleet(driver.task_iter(), sink=sink, workers=workers,
-                       shard_size=shard_size)
+                       shard_size=shard_size, **supervision)
     return FleetRun(driver=getattr(driver, "name", type(driver).__name__),
                     result=result, seconds=time.perf_counter() - t0)
 

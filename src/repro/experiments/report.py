@@ -272,6 +272,59 @@ def section_fleet(users: int, seed: int = 11) -> List[ReportSection]:
     return sections
 
 
+def campaign_day_section(result, baseline: str = "sp"
+                         ) -> ReportSection:
+    """Day-over-day series from a campaign ledger (Fig. 11's shape).
+
+    Pure rendering over a :class:`~repro.experiments.campaign.
+    CampaignResult`: each :class:`DayRecord` carries that day's
+    per-scheme summary, so the paper's daily SP-vs-treatment trend can
+    be tabulated without re-running anything -- including from a
+    checkpoint of a still-running multi-day campaign.
+    """
+    treatments = sorted({name for rec in result.days
+                         for name in rec.schemes if name != baseline})
+    rows = []
+    for rec in result.days:
+        base = rec.schemes.get(baseline, {})
+        row = [rec.day, rec.sessions,
+               _fmt(base.get("rct_p99"), "{:.2f}")]
+        for name in treatments:
+            treat = rec.schemes.get(name, {})
+            row.append(_fmt(treat.get("rct_p99"), "{:.2f}"))
+            base_rb, treat_rb = base.get("rebuffer_rate"), \
+                treat.get("rebuffer_rate")
+            row.append(_fmt(
+                improvement_percent(base_rb, treat_rb)
+                if base_rb and treat_rb is not None else None, "{:+.0f}%"))
+        row.append(rec.failed + rec.retries + rec.abandoned_shards or "—")
+        rows.append(row)
+    header = ["day", "sessions", f"{baseline} p99 RCT (s)"]
+    for name in treatments:
+        header += [f"{name} p99 RCT (s)", f"{name} rebuffer Δ"]
+    header.append("faults")
+    state = "interrupted" if result.interrupted else (
+        "complete" if result.completed else "partial")
+    footer = (f"\n\nCampaign {state}: {len(result.days)}/"
+              f"{result.days_planned} days, {result.tasks} sessions, "
+              f"{result.retries} shard retries, "
+              f"{result.abandoned_shards} abandoned shards. "
+              f"Merged digest `{result.digest[:16]}`.")
+    return ReportSection(
+        "Fig. 11 — day-over-day campaign series",
+        _table(header, rows) + footer)
+
+
+def section_campaign(users: int, days: int,
+                     seed: int = 11) -> List[ReportSection]:
+    """Run a multi-day campaign and render its day-over-day ledger."""
+    from repro.experiments.campaign import FleetCampaign
+    from repro.experiments.fleet import FleetConfig
+    cfg = FleetConfig(users=users, days=days, seed=seed)
+    result = FleetCampaign(cfg).run()
+    return [campaign_day_section(result)]
+
+
 def section_fig14() -> ReportSection:
     points = normalize(run_fig14(sizes=(4_000_000,)))
     rows = [[p.config, f"{p.energy_per_bit_j:.2f}",
@@ -296,6 +349,7 @@ def generate_report(scale: str = "quick",
         # the fleet tier is cheap per session (2s clip), so its
         # population is scaled 8x the per-day A/B cohort
         "fleet": lambda: section_fleet(users * 8),
+        "campaign": lambda: section_campaign(users * 4, days),
         "ccmatrix": lambda: [section_ccmatrix(users)],
         "fig12": lambda: [section_fig12(users)],
         "fig13": lambda: [section_fig13(traces)],

@@ -154,6 +154,48 @@ class SchemeSink:
     def digest(self) -> str:
         return hashlib.sha256(repr(self.canonical()).encode()).hexdigest()
 
+    # -- checkpoint serialization ---------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Full-state JSON-safe form (contrast :meth:`as_dict`, the
+        human-facing summary).  Digest-exact round trip via
+        :meth:`from_dict`: counters are ints, sketches serialize
+        through :meth:`DistSketch.to_dict`."""
+        state = {
+            "scheme": self.scheme,
+            "sessions": self.sessions,
+            "completed": self.completed,
+            "failures": dict(sorted(self.failures.items())),
+            "rebuffer_q": self.rebuffer_q,
+            "play_q": self.play_q,
+            "redundant_bytes": self.redundant_bytes,
+            "useful_bytes": self.useful_bytes,
+            "reinjected_bytes": self.reinjected_bytes,
+            "new_stream_bytes": self.new_stream_bytes,
+        }
+        for field in SKETCH_FIELDS:
+            state[field] = getattr(self, field).to_dict()
+        return state
+
+    @classmethod
+    def from_dict(cls, state: Dict) -> "SchemeSink":
+        first = DistSketch.from_dict(state[SKETCH_FIELDS[0]])
+        sink = cls(state["scheme"], alpha=first.alpha,
+                   exact_limit=first.exact_limit)
+        sink.sessions = state["sessions"]
+        sink.completed = state["completed"]
+        sink.failures = {str(k): int(v)
+                         for k, v in state["failures"].items()}
+        for field in SKETCH_FIELDS:
+            setattr(sink, field, DistSketch.from_dict(state[field]))
+        sink.rebuffer_q = state["rebuffer_q"]
+        sink.play_q = state["play_q"]
+        sink.redundant_bytes = state["redundant_bytes"]
+        sink.useful_bytes = state["useful_bytes"]
+        sink.reinjected_bytes = state["reinjected_bytes"]
+        sink.new_stream_bytes = state["new_stream_bytes"]
+        return sink
+
     def as_dict(self) -> Dict:
         """JSON-friendly summary (None percentiles when empty)."""
         return {
@@ -231,6 +273,25 @@ class MetricSink:
     def as_dict(self) -> Dict[str, Dict]:
         return {name: sink.as_dict()
                 for name, sink in sorted(self.schemes.items())}
+
+    # -- checkpoint serialization ---------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Full-state JSON-safe form; digest-exact round trip."""
+        return {
+            "alpha": self.alpha,
+            "exact_limit": self.exact_limit,
+            "schemes": {name: sink.to_dict()
+                        for name, sink in sorted(self.schemes.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict) -> "MetricSink":
+        sink = cls(alpha=state["alpha"], exact_limit=state["exact_limit"])
+        sink.schemes = {name: SchemeSink.from_dict(scheme_state)
+                        for name, scheme_state
+                        in state["schemes"].items()}
+        return sink
 
     def scheme_names(self) -> List[str]:
         return sorted(self.schemes)

@@ -267,6 +267,49 @@ class DistSketch:
     def digest(self) -> str:
         return hashlib.sha256(repr(self.canonical()).encode()).hexdigest()
 
+    # -- checkpoint serialization ---------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Full-state JSON-safe form (the campaign checkpoint format).
+
+        Everything is either an int or a float: Python's ``json``
+        round-trips both exactly (floats serialize via their shortest
+        ``repr``), so ``from_dict(to_dict(s))`` reproduces the
+        *identical* canonical state and digest -- the property the
+        checkpointed multi-day campaigns lean on.  Bucket indices are
+        emitted as sorted ``[index, count]`` pairs because JSON object
+        keys must be strings.
+        """
+        return {
+            "alpha": self.alpha,
+            "exact_limit": self.exact_limit,
+            "count": self.count,
+            "sum_q": self._sum_q,
+            "min": self._min,
+            "max": self._max,
+            "zero": self._zero,
+            "exact": (list(self._exact)
+                      if self._exact is not None else None),
+            "buckets": sorted(self._buckets.items()),
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict) -> "DistSketch":
+        """Reconstruct a sketch from :meth:`to_dict` output, exactly."""
+        sketch = cls(alpha=state["alpha"],
+                     exact_limit=state["exact_limit"])
+        sketch.count = state["count"]
+        sketch._sum_q = state["sum_q"]
+        sketch._min = state["min"]
+        sketch._max = state["max"]
+        sketch._zero = state["zero"]
+        exact = state["exact"]
+        sketch._exact = [float(v) for v in exact] \
+            if exact is not None else None
+        sketch._buckets = {int(index): int(n)
+                           for index, n in state["buckets"]}
+        return sketch
+
     def items(self) -> List[Tuple[float, int]]:
         """(value, count) pairs; exact values or bucket midpoints."""
         if self._exact is not None:

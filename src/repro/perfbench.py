@@ -18,7 +18,10 @@ Four measurements track the simulator's hot paths across PRs:
   through the shard-reduced fleet tier, with its own speedup/digest);
 - ``fleet_10k``: users/sec of a sharded 10K-user fleet day reduced
   into streaming metric sketches, with workers requested/effective and
-  the sink-bucket count as the bounded-memory proxy.
+  the sink-bucket count as the bounded-memory proxy;
+- ``fleet_checkpoint``: per-day checkpoint serialization cost of a
+  :class:`~repro.experiments.campaign.FleetCampaign` as a percentage
+  of day wall-clock -- the price of multi-day resumability.
 
 :func:`collect` gathers everything into a JSON-serializable report and
 :func:`write_report` persists it to ``BENCH_core.json`` so future PRs
@@ -261,6 +264,41 @@ def bench_fleet(users: int = 10_000, workers: int = 2,
     }
 
 
+def bench_fleet_checkpoint(users: int = 48, days: int = 2,
+                           seed: int = 5) -> Dict[str, Any]:
+    """Checkpoint-write overhead of a day-checkpointed campaign.
+
+    Runs a small campaign with per-day persistence and reports the
+    wall-clock spent serializing/replacing ``campaign.json`` as a
+    percentage of total campaign wall-clock.  The checkpoint is
+    O(schemes x sketch buckets) -- independent of population size --
+    so the percentage *shrinks* as days get bigger; this small run is
+    therefore an upper-bound shape for the 100K-user figure.
+    """
+    import tempfile
+
+    from repro.experiments.campaign import FleetCampaign
+    from repro.experiments.fleet import FleetConfig
+    cfg = FleetConfig(users=users, days=days, seed=seed)
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        campaign = FleetCampaign(cfg, checkpoint_dir=ckpt_dir, workers=1)
+        result = campaign.run()
+        checkpoint_bytes = os.path.getsize(campaign.checkpoint_path)
+    overhead = (result.checkpoint_seconds / result.seconds * 100.0
+                if result.seconds > 0 else 0.0)
+    return {
+        "users": users,
+        "days": days,
+        "sessions": result.tasks,
+        "seconds": result.seconds,
+        "checkpoint_seconds": result.checkpoint_seconds,
+        "checkpoint_overhead_percent": overhead,
+        "checkpoint_bytes": checkpoint_bytes,
+        "completed": result.completed,
+        "digest": result.digest,
+    }
+
+
 # ---------------------------------------------------------------------------
 # hotpath family: the per-datagram pipeline, measured in isolation
 # ---------------------------------------------------------------------------
@@ -471,6 +509,7 @@ def collect(n_events: int = 200_000, n_packets: int = 50_000,
             "ab_day_parallel": bench_parallel_ab_day(ab_users,
                                                      workers=workers),
             "fleet_10k": bench_fleet(fleet_users),
+            "fleet_checkpoint": bench_fleet_checkpoint(),
             "hotpath_crypto": bench_hotpath_crypto(),
             "hotpath_datagrams": bench_hotpath_datagrams(),
             "hotpath_pump": bench_hotpath_pump(),
@@ -554,6 +593,12 @@ def format_report(report: Dict[str, Any]) -> str:
             f"({fl['users']:,} users, {fl['shards']} shards, "
             f"workers {fl['workers_requested']}/{fl['workers_effective']}, "
             f"{fl['sink_buckets']} sink buckets)")
+    fc = b.get("fleet_checkpoint")
+    if fc:
+        lines.append(
+            f"fleet_ckpt      {fc['checkpoint_overhead_percent']:>12.2f} "
+            f"% of day wall-clock ({fc['checkpoint_bytes']:,} bytes, "
+            f"{fc['days']} days)")
     hc = b.get("hotpath_crypto")
     if hc:
         lines.append(

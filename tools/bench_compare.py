@@ -24,6 +24,11 @@ absolute users/sec floor and actually engage >= 2 pool workers.  No
 ratio gate: the committed ``fleet_10k`` entry measures a 200x larger
 population, so the numbers are not same-workload comparable.
 
+``fleet_checkpoint`` gets the inverse: a **ceiling** on campaign
+checkpoint-write overhead as a percentage of day wall-clock (lower is
+better), so day-by-day persistence can never quietly grow into a tax
+on campaign throughput.
+
 The committed ``ab_day_parallel.speedup`` is additionally floor-gated
 -- but only when the committed baseline was measured on a multi-core
 box (``meta.cpu_count > 1``).  On a 1-CPU container two pool workers
@@ -74,6 +79,12 @@ FLEET_USERS_PER_SEC_FLOOR = 2.0
 
 #: Minimum committed ab_day_parallel speedup on multi-core baselines.
 AB_SPEEDUP_FLOOR = 1.05
+
+#: Ceiling (lower is better) on campaign checkpoint-write overhead as
+#: a percentage of day wall-clock.  Steady-state on the reference box
+#: is well under 1%; 20% only trips on a qualitative failure (a
+#: checkpoint gone quadratic in population size, fsync storms).
+CHECKPOINT_OVERHEAD_CEILING_PCT = 20.0
 
 
 #: Samples per cheap family.  Perf noise on a shared container is
@@ -140,6 +151,38 @@ def check_fleet(fresh: dict, committed: dict) -> int:
     return failures
 
 
+def check_fleet_checkpoint(committed: dict) -> int:
+    """Ceiling gate on campaign checkpoint overhead; lower is better.
+
+    Best-of-N is inverted here (keep the *lowest* overhead sample):
+    container noise inflates the day wall-clock and the checkpoint
+    write alike, so one quiet sample is the honest capability reading.
+    """
+    from repro import perfbench
+    best = None
+    for _ in range(SAMPLES):
+        result = perfbench.bench_fleet_checkpoint(users=24, days=2)
+        if (best is None or result["checkpoint_overhead_percent"]
+                < best["checkpoint_overhead_percent"]):
+            best = result
+    failures = 0
+    pct = best["checkpoint_overhead_percent"]
+    flag = ""
+    if pct > CHECKPOINT_OVERHEAD_CEILING_PCT:
+        failures += 1
+        flag = (f"  ABOVE CEILING "
+                f"({CHECKPOINT_OVERHEAD_CEILING_PCT:,.0f}%)")
+    if not best["completed"]:
+        failures += 1
+        flag += "  CAMPAIGN INCOMPLETE"
+    base_entry = committed.get("benchmarks", {}).get("fleet_checkpoint", {})
+    base = base_entry.get("checkpoint_overhead_percent")
+    base_txt = f"{base:.2f}%" if base is not None else "(not committed)"
+    print(f"{'fleet_checkpoint':<24} {base_txt:>14} {pct:>13.2f}% "
+          f"{'--':>7}{flag}")
+    return failures
+
+
 def check_ab_speedup(committed: dict) -> int:
     """Gate the committed parallel speedup on multi-core baselines."""
     cpu_count = committed.get("meta", {}).get("cpu_count") or 1
@@ -198,6 +241,7 @@ def main(argv=None) -> int:
 
     failures = compare(committed, fresh_measurements(), args.threshold)
     failures += check_fleet(fleet_smoke(), committed)
+    failures += check_fleet_checkpoint(committed)
     failures += check_ab_speedup(committed)
     if failures:
         print(f"\n{failures} benchmark(s) failed: regressed more than "
